@@ -1,0 +1,90 @@
+// Figure 10: number of active chains over time, no free-riders.
+// (a) flash crowd (paper: 600 leechers) — chains climb until the fastest
+//     bandwidth class finishes, then decay in a saw-tooth as each class
+//     departs; (b) trace-driven — chains track the active-leecher count.
+#include "bench/common.h"
+
+namespace {
+
+void run_census(const char* label, tc::bt::SwarmConfig cfg,
+                std::vector<tc::util::SimTime> arrivals,
+                const tc::util::Flags& flags, bool indirect_only) {
+  using namespace tc;
+  protocols::TChainProtocol proto;
+  cfg.piece_bytes = proto.default_piece_bytes();
+  cfg.allow_direct_reciprocity = !indirect_only;
+  bt::Swarm swarm(cfg, proto, std::move(arrivals));
+
+  // Sample the active-leecher count alongside the protocol's chain census.
+  std::vector<std::pair<double, std::size_t>> leecher_series;
+  struct Sampler {
+    bt::Swarm* s;
+    std::vector<std::pair<double, std::size_t>>* out;
+    void operator()() const {
+      out->emplace_back(s->simulator().now(), s->active_leecher_count());
+      s->simulator().schedule_in(5.0, *this);
+    }
+  };
+  swarm.simulator().schedule_in(5.0, Sampler{&swarm, &leecher_series});
+  swarm.run();
+
+  const auto& census = proto.chains().census();
+  util::AsciiTable t({"time (s)", "active chains", "active leechers"});
+  const std::size_t rows = 14;
+  for (std::size_t k = 0; k < rows; ++k) {
+    const std::size_t i = census.empty() ? 0 : k * (census.size() - 1) / (rows - 1);
+    if (i >= census.size()) break;
+    std::size_t leechers = 0;
+    for (const auto& [time, n] : leecher_series) {
+      if (time <= census[i].t) leechers = n;
+    }
+    t.add_row({util::format_double(census[i].t, 0),
+               std::to_string(census[i].active_chains),
+               std::to_string(leechers)});
+  }
+  std::cout << label << "\n";
+  bench::print_table(t, flags);
+  std::cout << "chains created: " << proto.chains().total_created()
+            << " (seeder " << proto.chains().created_by_seeder()
+            << ", leechers " << proto.chains().created_by_leechers()
+            << "), mean terminated length "
+            << util::format_double(proto.chains().mean_terminated_length(), 1)
+            << "\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tc;
+  util::Flags flags(argc, argv);
+  const bool full = flags.get_bool("full");
+  const auto file_mb = flags.get_int("file-mb", full ? 128 : 8);
+  const std::size_t n =
+      static_cast<std::size_t>(flags.get_int("leechers", full ? 600 : 150));
+  const bool indirect_only = flags.get_bool("indirect-only");
+
+  bench::banner("Figure 10 (active chains over time)",
+                "(a) flash crowd: chains climb, then saw-tooth down as each "
+                "bandwidth class finishes; (b) trace: chains track the "
+                "active-leecher population");
+
+  {
+    protocols::TChainProtocol probe;
+    auto cfg = bench::base_config(probe, n, file_mb * util::kMiB,
+                                  static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+    run_census("(a) flash crowd", cfg, {}, flags, indirect_only);
+  }
+  {
+    protocols::TChainProtocol probe;
+    auto cfg = bench::base_config(probe, n, file_mb * util::kMiB,
+                                  static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+    trace::RedHatTraceArrivals::Params p;
+    p.peak_rate = full ? 0.5 : 0.4;
+    p.decay_seconds = full ? 36'000 : 2'000;
+    util::Rng arr_rng(11);
+    auto arrivals = trace::RedHatTraceArrivals(p).generate(n, arr_rng);
+    run_census("(b) trace-driven arrivals", cfg, std::move(arrivals), flags,
+               indirect_only);
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 11: opportunistic seeding.
+// (a) Cumulative chains created by the seeder vs. by leechers in a flash
+//     crowd — paper: leechers opportunistically seed heavily right after
+//     startup (the seeder cannot satisfy all newcomers), then nearly stop.
+// (b) Fraction of chains created by opportunistic seeding under trace
+//     arrivals as the free-rider share grows — paper: more free-riders
+//     terminate more chains, so leechers compensate with more
+//     opportunistic seeding.
+// --no-oppseed ablates the mechanism to show the utilization gap it closes.
+#include "bench/common.h"
+
+int main(int argc, char** argv) {
+  using namespace tc;
+  util::Flags flags(argc, argv);
+  const bool full = flags.get_bool("full");
+  const auto file_mb = flags.get_int("file-mb", full ? 128 : 8);
+  const std::size_t n =
+      static_cast<std::size_t>(flags.get_int("leechers", full ? 600 : 150));
+  const bool oppseed = !flags.get_bool("no-oppseed");
+
+  bench::banner("Figure 11 (opportunistic seeding)",
+                "(a) a burst of leecher-created chains right after startup, "
+                "then ~zero; (b) the opportunistic fraction grows with the "
+                "free-rider share");
+
+  // ---- (a) cumulative creation by initiator, flash crowd --------------------
+  {
+    protocols::TChainProtocol proto;
+    auto cfg = bench::base_config(proto, n, file_mb * util::kMiB, 1);
+    cfg.opportunistic_seeding = oppseed;
+    bt::Swarm swarm(cfg, proto);
+    swarm.run();
+    const auto& census = proto.chains().census();
+    util::AsciiTable t({"time (s)", "cumulative by seeder",
+                        "cumulative by leechers"});
+    const std::size_t rows = 12;
+    for (std::size_t k = 0; k < rows && !census.empty(); ++k) {
+      const std::size_t i = k * (census.size() - 1) / (rows - 1);
+      t.add_row({util::format_double(census[i].t, 0),
+                 std::to_string(census[i].cumulative_seeder),
+                 std::to_string(census[i].cumulative_leecher)});
+    }
+    std::cout << "(a) flash crowd, opportunistic seeding "
+              << (oppseed ? "ON" : "OFF (ablation)") << "\n";
+    bench::print_table(t, flags);
+    const auto& m = swarm.metrics();
+    std::cout << "mean completion "
+              << util::format_double(
+                     m.completion_times(bench::F::kCompliant).mean(), 1)
+              << " s, uplink utilization "
+              << util::format_double(
+                     100 * m.mean_uplink_utilization(bench::F::kCompliant,
+                                                     swarm.end_time()),
+                     1)
+              << "%\n\n";
+  }
+
+  // ---- (b) opportunistic fraction vs free-rider share, trace ----------------
+  {
+    util::AsciiTable t({"freeriders (%)", "by seeder", "by leechers",
+                        "opportunistic fraction"});
+    for (double frac : {0.0, 0.25, 0.5}) {
+      protocols::TChainProtocol proto;
+      auto cfg = bench::base_config(proto, n, file_mb * util::kMiB, 2);
+      cfg.freerider_fraction = frac;
+      cfg.opportunistic_seeding = oppseed;
+      cfg.wait_for_freeriders = false;
+      trace::RedHatTraceArrivals::Params p;
+      p.peak_rate = full ? 0.5 : 0.4;
+      p.decay_seconds = full ? 36'000 : 2'000;
+      util::Rng arr_rng(13);
+      auto arrivals = trace::RedHatTraceArrivals(p).generate(n, arr_rng);
+      bt::Swarm swarm(cfg, proto, std::move(arrivals));
+      swarm.run();
+      t.add_row({util::format_double(100 * frac, 0),
+                 std::to_string(proto.chains().created_by_seeder()),
+                 std::to_string(proto.chains().created_by_leechers()),
+                 util::format_double(proto.chains().opportunistic_fraction(), 3)});
+    }
+    std::cout << "(b) trace-driven arrivals\n";
+    bench::print_table(t, flags);
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 3: average download completion time (a) and average uplink
+// utilization (b) vs. swarm size, no free-riders, flash crowd.
+// Paper setup: 128 MiB file, swarms 200..1000, BitTorrent / PropShare /
+// FairTorrent / T-Chain / Optimal.
+#include "bench/common.h"
+
+int main(int argc, char** argv) {
+  using namespace tc;
+  util::Flags flags(argc, argv);
+  const bool full = flags.get_bool("full");
+  const auto file_mb = flags.get_int("file-mb", full ? 128 : 16);
+  const auto seeds =
+      static_cast<std::uint64_t>(flags.get_int("seeds", full ? 30 : 2));
+
+  std::vector<std::size_t> swarms;
+  if (full) {
+    swarms = {200, 400, 600, 800, 1000};
+  } else {
+    swarms = {50, 100, 150, 200};
+  }
+  if (flags.has("swarm")) {
+    swarms = {static_cast<std::size_t>(flags.get_int("swarm", 100))};
+  }
+
+  bench::banner("Figure 3 (no free-riders)",
+                "all methods near-optimal and scalable; T-Chain and "
+                "FairTorrent slightly faster / higher uplink utilization "
+                "than BitTorrent and PropShare");
+
+  util::AsciiTable t({"swarm", "protocol", "mean completion (s)", "ci95",
+                      "uplink util (%)", "optimal (s)"});
+
+  for (std::size_t n : swarms) {
+    double opt = 0.0;
+    for (const auto& name : protocols::paper_protocols()) {
+      util::RunningStats mean_s, util_s;
+      for (std::uint64_t s = 1; s <= seeds; ++s) {
+        auto proto = protocols::make_protocol(name);
+        auto cfg = bench::base_config(*proto, n, file_mb * util::kMiB, s);
+        opt = bench::optimal_time(cfg);
+        const auto r = bench::run_swarm(cfg, *proto);
+        mean_s.add(r.compliant_mean);
+        util_s.add(r.uplink_utilization);
+      }
+      t.add_row({std::to_string(n), name,
+                 util::format_double(mean_s.mean(), 1),
+                 "+-" + util::format_double(mean_s.ci95_half_width(), 1),
+                 util::format_double(100 * util_s.mean(), 1),
+                 util::format_double(opt, 1)});
+    }
+  }
+  bench::print_table(t, flags);
+  return 0;
+}

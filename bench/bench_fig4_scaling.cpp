@@ -1,0 +1,64 @@
+// Figure 4: T-Chain scaling. (a) file-size effect at fixed population
+// (paper: 600 leechers, 32 MB..1024 MB — completion time grows linearly);
+// (b) swarm-size effect at fixed file (paper: 128 MB, 10..10,000 leechers
+// — completion time converges to a constant).
+#include "bench/common.h"
+
+int main(int argc, char** argv) {
+  using namespace tc;
+  util::Flags flags(argc, argv);
+  const bool full = flags.get_bool("full");
+  const auto seeds =
+      static_cast<std::uint64_t>(flags.get_int("seeds", full ? 30 : 2));
+
+  bench::banner("Figure 4 (T-Chain scaling)",
+                "(a) completion time increases linearly with file size; "
+                "(b) completion time converges and stays nearly constant "
+                "with swarm size (seeder-dominated below ~200 leechers)");
+
+  // ---- (a) file size sweep -------------------------------------------------
+  {
+    const std::size_t leechers =
+        static_cast<std::size_t>(flags.get_int("leechers", full ? 600 : 100));
+    std::vector<int> sizes_mb = full
+        ? std::vector<int>{32, 64, 128, 256, 512, 1024}
+        : std::vector<int>{2, 4, 8, 16, 32};
+    util::AsciiTable t({"file (MiB)", "mean completion (s)", "ci95",
+                        "sec per MiB"});
+    for (int mb : sizes_mb) {
+      util::RunningStats mean_s;
+      for (std::uint64_t s = 1; s <= seeds; ++s) {
+        protocols::TChainProtocol proto;
+        auto cfg = bench::base_config(proto, leechers, mb * util::kMiB, s);
+        mean_s.add(bench::run_swarm(cfg, proto).compliant_mean);
+      }
+      t.add_row({std::to_string(mb), util::format_double(mean_s.mean(), 1),
+                 "+-" + util::format_double(mean_s.ci95_half_width(), 1),
+                 util::format_double(mean_s.mean() / mb, 2)});
+    }
+    std::cout << "(a) file-size effect, " << leechers << " leechers\n";
+    bench::print_table(t, flags);
+  }
+
+  // ---- (b) swarm size sweep -------------------------------------------------
+  {
+    const auto file_mb = flags.get_int("file-mb", full ? 128 : 8);
+    std::vector<std::size_t> swarms = full
+        ? std::vector<std::size_t>{10, 50, 100, 500, 1000, 5000, 10000}
+        : std::vector<std::size_t>{10, 25, 50, 100, 200, 400};
+    util::AsciiTable t({"leechers", "mean completion (s)", "ci95"});
+    for (std::size_t n : swarms) {
+      util::RunningStats mean_s;
+      for (std::uint64_t s = 1; s <= seeds; ++s) {
+        protocols::TChainProtocol proto;
+        auto cfg = bench::base_config(proto, n, file_mb * util::kMiB, s);
+        mean_s.add(bench::run_swarm(cfg, proto).compliant_mean);
+      }
+      t.add_row({std::to_string(n), util::format_double(mean_s.mean(), 1),
+                 "+-" + util::format_double(mean_s.ci95_half_width(), 1)});
+    }
+    std::cout << "\n(b) swarm-size effect, " << file_mb << " MiB file\n";
+    bench::print_table(t, flags);
+  }
+  return 0;
+}

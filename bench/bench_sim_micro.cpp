@@ -1,0 +1,89 @@
+// Simulator micro-costs (infrastructure bench): event-queue throughput,
+// fluid bandwidth-model updates, bitfield/LRF selection, tracker sampling.
+#include <benchmark/benchmark.h>
+
+#include "src/bt/bitfield.h"
+#include "src/net/tracker.h"
+#include "src/sim/bandwidth.h"
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace tc;
+
+void BM_EventScheduleAndRun(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator s;
+    for (int i = 0; i < n; ++i) {
+      s.schedule_at((i * 2654435761u) % 1000, [] {});
+    }
+    s.run();
+    benchmark::DoNotOptimize(s.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventScheduleAndRun)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_EventCancellation(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    std::vector<sim::Simulator::EventId> ids;
+    ids.reserve(10000);
+    for (int i = 0; i < 10000; ++i)
+      ids.push_back(s.schedule_at(i, [] {}));
+    for (std::size_t i = 0; i < ids.size(); i += 2) s.cancel(ids[i]);
+    s.run();
+    benchmark::DoNotOptimize(s.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventCancellation);
+
+void BM_BandwidthFlowChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    sim::BandwidthModel bw(s);
+    for (sim::NodeId u = 1; u <= 20; ++u) bw.set_capacity(u, 100'000.0);
+    int completed = 0;
+    for (int i = 0; i < 2000; ++i) {
+      bw.start_flow(1 + static_cast<sim::NodeId>(i % 20),
+                    100 + static_cast<sim::NodeId>(i % 50), 65536.0,
+                    [&](sim::FlowId) { ++completed; });
+    }
+    s.run();
+    benchmark::DoNotOptimize(completed);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_BandwidthFlowChurn);
+
+void BM_BitfieldMissingFrom(benchmark::State& state) {
+  const auto pieces = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  bt::Bitfield mine(pieces), theirs(pieces);
+  for (std::size_t i = 0; i < pieces; ++i) {
+    if (rng.bernoulli(0.5)) mine.set(static_cast<bt::PieceIndex>(i));
+    if (rng.bernoulli(0.7)) theirs.set(static_cast<bt::PieceIndex>(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mine.missing_from(theirs));
+  }
+}
+BENCHMARK(BM_BitfieldMissingFrom)->Arg(512)->Arg(2048);
+
+void BM_TrackerNeighborList(benchmark::State& state) {
+  net::Tracker tracker(50);
+  for (net::PeerId p = 1; p <= static_cast<net::PeerId>(state.range(0)); ++p)
+    tracker.announce(p);
+  util::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracker.neighbor_list(1, rng));
+  }
+}
+BENCHMARK(BM_TrackerNeighborList)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

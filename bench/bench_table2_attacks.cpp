@@ -1,0 +1,115 @@
+// Table II: incentive schemes vs. attack vectors. Each (protocol, attack)
+// cell is scored by a scenario micro-simulation: a flash crowd with 25%
+// free-riders configured for that specific attack. Scoring follows the
+// paper's legend — Good: free-riders gain (almost) nothing; Medium: they
+// succeed but substantially slower than compliant leechers; Bad: they
+// free-ride effectively.
+//
+// --ablate-k additionally sweeps T-Chain's flow-control cap k (DESIGN.md §6).
+#include "bench/common.h"
+
+namespace {
+
+using namespace tc;
+
+struct AttackSetup {
+  const char* name;
+  bool large_view;
+  bool whitewash;
+  bool collude;
+};
+
+constexpr AttackSetup kAttacks[] = {
+    {"exploit-altruism", false, false, false},
+    {"large-view", true, false, false},
+    {"whitewash", false, true, false},
+    {"large-view+whitewash", true, true, false},
+    {"collusion", true, true, true},
+};
+
+const char* verdict(std::size_t fr_done, std::size_t fr_total,
+                    double fr_mean, double compliant_mean) {
+  if (fr_total == 0) return "n/a";
+  const double done_frac =
+      static_cast<double>(fr_done) / static_cast<double>(fr_total);
+  if (done_frac < 0.05) return "Good";
+  if (fr_mean > 3.0 * compliant_mean) return "Medium";
+  return "Bad";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const bool full = flags.get_bool("full");
+  const auto file_mb = flags.get_int("file-mb", full ? 32 : 8);
+  const std::size_t n =
+      static_cast<std::size_t>(flags.get_int("leechers", full ? 400 : 200));
+
+  bench::banner("Table II (incentive schemes vs. attacks)",
+                "T-Chain: Good against altruism-exploitation, cheating, "
+                "large-view, whitewash/Sybil; collusion only degrades to "
+                "Medium (colluders crawl). Baselines: exploitable.");
+
+  util::AsciiTable t({"attack", "protocol", "freeriders done",
+                      "fr mean (s)", "compliant mean (s)", "verdict"});
+
+  for (const auto& atk : kAttacks) {
+    for (const auto& name : protocols::table2_protocols()) {
+      auto proto = protocols::make_protocol(name);
+      auto cfg = bench::base_config(*proto, n, file_mb * util::kMiB, 7);
+      cfg.freerider_fraction = 0.25;
+      cfg.freerider_large_view = atk.large_view;
+      cfg.freerider_whitewash = atk.whitewash;
+      cfg.freerider_collude = atk.collude;
+      cfg.freerider_stall_timeout = 2500.0;
+      const auto r = bench::run_swarm(cfg, *proto);
+      const std::size_t fr_total = r.freerider_finished + r.freerider_unfinished;
+      t.add_row({atk.name, name,
+                 std::to_string(r.freerider_finished) + "/" +
+                     std::to_string(fr_total),
+                 r.freerider_mean >= 0 ? util::format_double(r.freerider_mean, 0)
+                                       : "never",
+                 util::format_double(r.compliant_mean, 0),
+                 verdict(r.freerider_finished, fr_total, r.freerider_mean,
+                         r.compliant_mean)});
+    }
+  }
+  bench::print_table(t, flags);
+
+  if (flags.get_bool("ablate-k")) {
+    std::cout << "\nAblation: T-Chain flow-control cap k (paper fixes k=2)\n";
+    util::AsciiTable ak({"k", "compliant mean (s)", "uplink util (%)",
+                         "freerider bytes (MiB, mean)"});
+    for (int k : {1, 2, 4, 8}) {
+      protocols::TChainProtocol proto;
+      auto cfg = bench::base_config(proto, n, file_mb * util::kMiB, 7);
+      cfg.freerider_fraction = 0.25;
+      cfg.pending_cap = k;
+      bt::Swarm swarm(cfg, proto);
+      swarm.run();
+      double fr_bytes = 0;
+      std::size_t fr_n = 0;
+      for (const auto* rec : swarm.metrics().all()) {
+        if (!rec->seeder && rec->freerider) {
+          fr_bytes += rec->bytes_downloaded;
+          ++fr_n;
+        }
+      }
+      ak.add_row(
+          {std::to_string(k),
+           util::format_double(
+               swarm.metrics().completion_times(bench::F::kCompliant).mean(), 1),
+           util::format_double(
+               100 * swarm.metrics().mean_uplink_utilization(
+                         bench::F::kCompliant, swarm.end_time()),
+               1),
+           util::format_double(fr_n ? fr_bytes / static_cast<double>(fr_n) /
+                                          static_cast<double>(util::kMiB)
+                                    : 0.0,
+                               2)});
+    }
+    bench::print_table(ak, flags);
+  }
+  return 0;
+}

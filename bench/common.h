@@ -1,0 +1,110 @@
+// Shared harness for the figure/table reproduction benches.
+//
+// Every bench accepts:
+//   --full        paper-scale parameters (slow; the paper used 128 MiB
+//                 files, swarms up to 1000+, 30 seeds)
+//   --seeds N     runs per data point (default 2-3 scaled, 30 full)
+//   --file-mb M   shared file size
+//   --csv         machine-readable output
+// plus bench-specific sweeps. Scaled defaults are chosen so each bench
+// finishes in tens of seconds on one core while preserving the paper's
+// qualitative shape (see EXPERIMENTS.md).
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/metrics.h"
+#include "src/bt/swarm.h"
+#include "src/protocols/registry.h"
+#include "src/protocols/tchain.h"
+#include "src/trace/arrival.h"
+#include "src/util/flags.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace tc::bench {
+
+using F = analysis::SwarmMetrics::PeerFilter;
+
+struct RunResult {
+  double compliant_mean = 0.0;       // mean download completion time (s)
+  std::size_t compliant_finished = 0;
+  std::size_t compliant_unfinished = 0;
+  double freerider_mean = -1.0;      // < 0: none finished
+  std::size_t freerider_finished = 0;
+  std::size_t freerider_unfinished = 0;
+  double uplink_utilization = 0.0;   // 0..1 (compliant)
+  double end_time = 0.0;
+  util::Distribution compliant_times;
+  util::Distribution freerider_times;
+};
+
+// Runs one swarm to completion and summarizes it. `arrivals` empty =>
+// flash crowd.
+inline RunResult run_swarm(const bt::SwarmConfig& cfg, bt::Protocol& proto,
+                           std::vector<util::SimTime> arrivals = {}) {
+  bt::Swarm swarm(cfg, proto, std::move(arrivals));
+  swarm.run();
+  const auto& m = swarm.metrics();
+  RunResult r;
+  r.compliant_times = m.completion_times(F::kCompliant);
+  r.freerider_times = m.completion_times(F::kFreeRiders);
+  r.compliant_mean = r.compliant_times.mean();
+  r.compliant_finished = r.compliant_times.count();
+  r.compliant_unfinished = m.unfinished_count(F::kCompliant);
+  r.freerider_finished = r.freerider_times.count();
+  r.freerider_unfinished = m.unfinished_count(F::kFreeRiders);
+  if (r.freerider_finished > 0) r.freerider_mean = r.freerider_times.mean();
+  r.uplink_utilization =
+      m.mean_uplink_utilization(F::kCompliant, swarm.end_time());
+  r.end_time = swarm.end_time();
+  return r;
+}
+
+// Builds a config with the protocol's piece size applied.
+inline bt::SwarmConfig base_config(const bt::Protocol& proto,
+                                   std::size_t leechers,
+                                   util::ByteCount file_bytes,
+                                   std::uint64_t seed) {
+  bt::SwarmConfig cfg;
+  cfg.leecher_count = leechers;
+  cfg.file_bytes = file_bytes;
+  cfg.piece_bytes = proto.default_piece_bytes();
+  cfg.seed = seed;
+  cfg.max_sim_time = 300'000.0;
+  return cfg;
+}
+
+// The "Optimal" line of Figure 3 (Kumar/Ross bound) for the configured
+// heterogeneous leecher classes.
+inline double optimal_time(const bt::SwarmConfig& cfg) {
+  std::vector<double> ups;
+  ups.reserve(cfg.leecher_count);
+  for (std::size_t i = 0; i < cfg.leecher_count; ++i) {
+    ups.push_back(util::kbps_to_bytes_per_sec(
+        cfg.leecher_upload_kbps[i % cfg.leecher_upload_kbps.size()]));
+  }
+  return analysis::optimal_completion_time(
+      static_cast<double>(cfg.file_bytes),
+      util::kbps_to_bytes_per_sec(cfg.seeder_upload_kbps), ups);
+}
+
+inline void print_table(const util::AsciiTable& t, const util::Flags& flags) {
+  if (flags.get_bool("csv")) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+}
+
+// Paper expectation banner: printed above each bench's measured output so
+// the terminal shows claim vs. measurement side by side.
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "=== " << id << " ===\n"
+            << "Paper: " << claim << "\n\n";
+}
+
+}  // namespace tc::bench

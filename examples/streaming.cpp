@@ -1,0 +1,110 @@
+// Streaming adaptation (paper §VI names streaming as future work for
+// T-Chain): piece selection switches from pure Local-Rarest-First to
+// rarest-within-a-playback-window, so pieces arrive nearly in order and
+// playback can start long before the download completes — while the
+// T-Chain exchange still enforces reciprocity underneath.
+//
+// This example runs the same T-Chain swarm under both policies and prints
+// startup delay (time to the first `--startup-pieces` in-order pieces),
+// in-order arrival fraction, and completion time for the traced slow/fast
+// leechers.
+//
+// Usage: streaming [--leechers N] [--file-mb M] [--window W] [--seed S]
+#include <algorithm>
+#include <iostream>
+
+#include "src/analysis/metrics.h"
+#include "src/bt/swarm.h"
+#include "src/protocols/tchain.h"
+#include "src/util/flags.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace tc;
+
+struct StreamStats {
+  double startup_delay = -1;   // time to first K in-order pieces
+  double inorder_fraction = 0; // arrivals that extended the playhead
+  double completion = -1;
+};
+
+StreamStats analyze(const analysis::PieceTimeline* tl, double join,
+                    std::size_t piece_count, std::size_t startup_pieces) {
+  StreamStats s;
+  if (tl == nullptr || tl->completed.empty()) return s;
+  auto arrivals = tl->completed;  // (time, piece), already time-ordered
+  std::vector<bool> have(piece_count, false);
+  std::size_t playhead = 0;
+  std::size_t inorder = 0;
+  for (const auto& [t, piece] : arrivals) {
+    if (piece == playhead) ++inorder;
+    have[piece] = true;
+    while (playhead < piece_count && have[playhead]) ++playhead;
+    if (s.startup_delay < 0 && playhead >= startup_pieces)
+      s.startup_delay = t - join;
+  }
+  s.inorder_fraction =
+      static_cast<double>(inorder) / static_cast<double>(arrivals.size());
+  s.completion = arrivals.back().first - join;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto leechers = static_cast<std::size_t>(flags.get_int("leechers", 120));
+  const auto file_mb = flags.get_int("file-mb", 8);
+  const auto window = static_cast<std::size_t>(flags.get_int("window", 16));
+  const auto startup_pieces =
+      static_cast<std::size_t>(flags.get_int("startup-pieces", 8));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  std::cout << "T-Chain streaming adaptation: " << leechers << " leechers, "
+            << file_mb << " MiB stream, window " << window << " pieces\n\n";
+
+  util::AsciiTable t({"policy", "leecher", "startup delay (s)",
+                      "in-order arrivals (%)", "completion (s)",
+                      "swarm mean completion (s)"});
+
+  for (bt::PiecePolicy policy :
+       {bt::PiecePolicy::kRarestFirst, bt::PiecePolicy::kSequentialWindow}) {
+    protocols::TChainProtocol proto;
+    bt::SwarmConfig cfg;
+    cfg.leecher_count = leechers;
+    cfg.file_bytes = file_mb * util::kMiB;
+    cfg.piece_bytes = proto.default_piece_bytes();
+    cfg.piece_policy = policy;
+    cfg.stream_window = window;
+    cfg.seed = seed;
+    bt::Swarm swarm(cfg, proto);
+    swarm.set_trace_extremes(true);
+    swarm.run();
+
+    const char* policy_name =
+        policy == bt::PiecePolicy::kRarestFirst ? "rarest-first" : "stream-window";
+    const double swarm_mean =
+        swarm.metrics()
+            .completion_times(analysis::SwarmMetrics::PeerFilter::kCompliant)
+            .mean();
+    for (auto [id, label] : {std::pair{swarm.traced_slow_peer(), "400Kbps"},
+                             {swarm.traced_fast_peer(), "1200Kbps"}}) {
+      const auto* rec = swarm.metrics().find(id);
+      const auto st = analyze(swarm.metrics().timeline(id),
+                              rec != nullptr ? rec->join_time : 0.0,
+                              swarm.piece_count(), startup_pieces);
+      t.add_row({policy_name, label,
+                 st.startup_delay >= 0 ? util::format_double(st.startup_delay, 1)
+                                       : "-",
+                 util::format_double(100 * st.inorder_fraction, 1),
+                 st.completion >= 0 ? util::format_double(st.completion, 1) : "-",
+                 util::format_double(swarm_mean, 1)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected: the stream-window policy trades a little total "
+               "completion time for much earlier in-order availability "
+               "(startup) — reciprocity enforcement is unchanged.\n";
+  return 0;
+}

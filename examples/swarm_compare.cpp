@@ -1,0 +1,76 @@
+// Side-by-side comparison of the four incentive protocols (the paper's
+// evaluation cast) on the same workload, sweeping the free-rider fraction.
+// This is Figure 7/9 in miniature.
+//
+// Usage: swarm_compare [--leechers N] [--file-mb M] [--seeds K]
+//                      [--freerider-fracs 0,0.25]
+#include <iostream>
+#include <sstream>
+
+#include "src/analysis/metrics.h"
+#include "src/bt/swarm.h"
+#include "src/protocols/registry.h"
+#include "src/util/flags.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace {
+
+std::vector<double> parse_fracs(const std::string& csv) {
+  std::vector<double> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::stod(item));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tc::util::Flags flags(argc, argv);
+  const auto leechers = static_cast<std::size_t>(flags.get_int("leechers", 80));
+  const auto file_mb = flags.get_int("file-mb", 4);
+  const auto seeds = static_cast<std::uint64_t>(flags.get_int("seeds", 2));
+  const auto fracs = parse_fracs(flags.get_string("freerider-fracs", "0,0.25"));
+
+  tc::util::AsciiTable t({"protocol", "free-riders", "compliant mean (s)",
+                          "ci95", "freerider mean (s)", "freeriders done",
+                          "uplink util (%)"});
+
+  for (const auto& name : tc::protocols::paper_protocols()) {
+    for (double frac : fracs) {
+      tc::util::RunningStats compliant_mean, util_mean, fr_mean;
+      std::size_t fr_done = 0, fr_total = 0;
+      for (std::uint64_t s = 1; s <= seeds; ++s) {
+        auto proto = tc::protocols::make_protocol(name);
+        tc::bt::SwarmConfig cfg;
+        cfg.leecher_count = leechers;
+        cfg.file_bytes = file_mb * tc::util::kMiB;
+        cfg.piece_bytes = proto->default_piece_bytes();
+        cfg.freerider_fraction = frac;
+        cfg.seed = s;
+        cfg.max_sim_time = flags.get_double("max-time", 20'000.0);
+        tc::bt::Swarm swarm(cfg, *proto);
+        swarm.run();
+
+        using F = tc::analysis::SwarmMetrics::PeerFilter;
+        const auto& m = swarm.metrics();
+        compliant_mean.add(m.completion_times(F::kCompliant).mean());
+        util_mean.add(
+            m.mean_uplink_utilization(F::kCompliant, swarm.end_time()));
+        const auto fr = m.completion_times(F::kFreeRiders);
+        if (fr.count() > 0) fr_mean.add(fr.mean());
+        fr_done += fr.count();
+        fr_total += fr.count() + m.unfinished_count(F::kFreeRiders);
+      }
+      t.add_row({name, tc::util::format_double(100 * frac, 0) + "%",
+                 tc::util::format_double(compliant_mean.mean(), 1),
+                 "+-" + tc::util::format_double(compliant_mean.ci95_half_width(), 1),
+                 fr_mean.count() ? tc::util::format_double(fr_mean.mean(), 1) : "never",
+                 std::to_string(fr_done) + "/" + std::to_string(fr_total),
+                 tc::util::format_double(100 * util_mean.mean(), 1)});
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

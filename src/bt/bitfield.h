@@ -1,0 +1,54 @@
+// Piece-possession bitfield with O(words) set operations. Used for every
+// peer's completed-piece set and for interest / Local-Rarest-First queries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/message.h"
+#include "src/util/bytes.h"
+
+namespace tc::bt {
+
+using PieceIndex = net::PieceIndex;
+
+class Bitfield {
+ public:
+  Bitfield() = default;
+  explicit Bitfield(std::size_t piece_count);
+
+  std::size_t size() const { return size_; }
+  bool get(PieceIndex i) const;
+  void set(PieceIndex i);
+  void clear(PieceIndex i);
+  std::size_t count() const { return count_; }
+  bool complete() const { return count_ == size_ && size_ > 0; }
+  bool empty() const { return count_ == 0; }
+
+  // Index of the first unset bit, or size() if complete (the streaming
+  // "playhead": everything before it is contiguous in-order progress).
+  PieceIndex first_missing() const;
+
+  // True if `other` has at least one piece this bitfield lacks
+  // ("I am interested in other").
+  bool interested_in(const Bitfield& other) const;
+
+  // Pieces that `other` has and this lacks.
+  std::vector<PieceIndex> missing_from(const Bitfield& other) const;
+
+  // All set pieces.
+  std::vector<PieceIndex> to_vector() const;
+
+  // Wire encoding (bit i = byte i/8, LSB first) for BitfieldMsg.
+  net::BitfieldMsg to_message() const;
+  static Bitfield from_message(const net::BitfieldMsg& m);
+
+  bool operator==(const Bitfield&) const = default;
+
+ private:
+  std::size_t size_ = 0;
+  std::size_t count_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace tc::bt

@@ -1,0 +1,82 @@
+// Swarm configuration. Defaults mirror the paper's setup (§IV-A), except
+// file size, which benches scale down by default for single-core runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace tc::bt {
+
+// Piece selection discipline (§VI names streaming as future work; the
+// sliding-window policy is the standard adaptation: prefer the rarest
+// piece inside a playback window, advance the window with in-order
+// progress).
+enum class PiecePolicy {
+  kRarestFirst,       // BitTorrent LRF (the paper's default)
+  kSequentialWindow,  // streaming: rarest within a window after the playhead
+};
+
+struct SwarmConfig {
+  // --- Content ------------------------------------------------------------
+  util::ByteCount file_bytes = 16 * util::kMiB;   // paper: 128 MiB
+  util::ByteCount piece_bytes = 64 * util::kKiB;  // T-Chain/FairTorrent: 64 KiB;
+                                                  // BitTorrent/PropShare: 256 KiB
+  PiecePolicy piece_policy = PiecePolicy::kRarestFirst;
+  std::size_t stream_window = 16;  // pieces, for kSequentialWindow
+
+  // --- Population -----------------------------------------------------------
+  std::size_t leecher_count = 100;
+  double freerider_fraction = 0.0;
+  double seeder_upload_kbps = 6000.0;
+  // Heterogeneous leecher classes, assigned round-robin (paper: 400..1200).
+  std::vector<double> leecher_upload_kbps = {400, 600, 800, 1000, 1200};
+
+  // --- Overlay --------------------------------------------------------------
+  std::size_t tracker_list_size = 50;
+  std::size_t max_neighbors = 55;
+  std::size_t min_neighbors = 30;
+  double control_latency = 0.05;  // seconds for HAVE/receipt/key messages
+
+  // --- Protocol timers --------------------------------------------------------
+  double rechoke_period = 10.0;
+  double optimistic_period = 30.0;
+  std::size_t unchoke_slots = 4;  // regular unchokes (k in the paper's §II-A)
+
+  // --- Attack model ------------------------------------------------------------
+  bool freerider_large_view = true;
+  bool freerider_whitewash = true;
+  bool freerider_collude = false;  // T-Chain false-receipt collusion
+
+  // --- T-Chain knobs ------------------------------------------------------------
+  int pending_cap = 2;                  // flow-control k (§II-D2)
+  bool opportunistic_seeding = true;    // §II-D3
+  bool allow_direct_reciprocity = true; // ablation: force indirect payees
+  std::size_t seeder_chain_slots = 8;  // concurrent chains the seeder feeds
+
+  // --- Scenario variants ------------------------------------------------------
+  // Fig 13: a finished leecher is replaced by a fresh newcomer immediately.
+  bool replace_on_finish = false;
+  // Fig 6(b): fraction of pieces each leecher starts with.
+  double initial_piece_fraction = 0.0;
+
+  // --- Run control ----------------------------------------------------------
+  std::uint64_t seed = 1;
+  double max_sim_time = 500'000.0;
+  // After compliant leechers finish, keep running so free-riders can limp
+  // to completion off the seeder (the paper measures their completion
+  // times); give up once no free-rider completes a piece for this long.
+  bool wait_for_freeriders = true;
+  double freerider_stall_timeout = 1500.0;
+  // Safety valve: if NO leecher completes a piece for this long after all
+  // arrivals happened, declare the run over (remaining peers recorded as
+  // unfinished) instead of burning simulated time to max_sim_time.
+  double global_stall_timeout = 10'000.0;
+
+  std::size_t piece_count() const {
+    return static_cast<std::size_t>((file_bytes + piece_bytes - 1) / piece_bytes);
+  }
+};
+
+}  // namespace tc::bt

@@ -1,0 +1,61 @@
+// Incentive-protocol plug-in interface. A Protocol owns all scheme-specific
+// state and timers; the Swarm provides membership, neighbor management,
+// bandwidth-accurate piece transfer, and metrics.
+#pragma once
+
+#include <string>
+
+#include "src/bt/bitfield.h"
+#include "src/net/peer_id.h"
+#include "src/util/units.h"
+
+namespace tc::bt {
+
+class Swarm;
+using net::PeerId;
+using PieceIndex = net::PieceIndex;
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  virtual std::string name() const = 0;
+
+  // The protocol's natural exchange unit (paper §IV-A: 256 KiB pieces for
+  // BitTorrent/PropShare, 64 KiB for T-Chain/FairTorrent).
+  virtual util::ByteCount default_piece_bytes() const = 0;
+
+  virtual void attach(Swarm& swarm) { swarm_ = &swarm; }
+
+  // Lifecycle hooks. All ids refer to live peers unless stated otherwise.
+  virtual void on_run_start() {}
+  virtual void on_peer_join(PeerId) {}
+  // Fires for finish-departures, attrition, and the old identity of a
+  // whitewash. Peer state is still readable during the call.
+  virtual void on_peer_depart(PeerId) {}
+  // Whitewash: `fresh` is the new identity of the logical peer that was
+  // `old`. Called after on_peer_depart(old) and before on_peer_join(fresh).
+  virtual void on_peer_rekeyed(PeerId old_id, PeerId fresh) {
+    (void)old_id;
+    (void)fresh;
+  }
+  virtual void on_neighbor_added(PeerId a, PeerId b) {
+    (void)a;
+    (void)b;
+  }
+  virtual void on_neighbor_removed(PeerId a, PeerId b) {
+    (void)a;
+    (void)b;
+  }
+  // A peer finished decrypting/receiving a piece (it is now in `have`).
+  virtual void on_piece_complete(PeerId peer, PieceIndex piece, PeerId from) {
+    (void)peer;
+    (void)piece;
+    (void)from;
+  }
+
+ protected:
+  Swarm* swarm_ = nullptr;
+};
+
+}  // namespace tc::bt

@@ -1,0 +1,567 @@
+#include "src/bt/swarm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "src/util/logging.h"
+
+namespace tc::bt {
+
+Swarm::Swarm(SwarmConfig cfg, Protocol& proto, std::vector<SimTime> arrival_times)
+    : cfg_(std::move(cfg)),
+      proto_(proto),
+      bw_(sim_),
+      rng_(cfg_.seed),
+      tracker_(cfg_.tracker_list_size),
+      piece_count_(cfg_.piece_count()) {
+  if (piece_count_ == 0) throw std::invalid_argument("empty file");
+  arrivals_ = std::move(arrival_times);
+  if (arrivals_.empty()) {
+    // Paper §IV-A: flash crowd, all leechers join within the first 10 s.
+    arrivals_.resize(cfg_.leecher_count);
+    for (auto& t : arrivals_) t = rng_.uniform(0.0, 10.0);
+    std::sort(arrivals_.begin(), arrivals_.end());
+  }
+  cfg_.leecher_count = arrivals_.size();
+
+  // Exactly round(fraction * N) free-riders, spread uniformly.
+  const auto fr_count = static_cast<std::size_t>(
+      cfg_.freerider_fraction * static_cast<double>(arrivals_.size()) + 0.5);
+  freerider_arrival_index_ = rng_.sample_indices(arrivals_.size(), fr_count);
+  std::sort(freerider_arrival_index_.begin(), freerider_arrival_index_.end());
+
+  proto_.attach(*this);
+}
+
+SimTime Swarm::end_time() const {
+  return std::min(sim_.now(), cfg_.max_sim_time);
+}
+
+Peer* Swarm::peer(PeerId id) {
+  const auto it = peers_.find(id);
+  return it == peers_.end() ? nullptr : it->second.get();
+}
+
+const Peer* Swarm::peer(PeerId id) const {
+  const auto it = peers_.find(id);
+  return it == peers_.end() ? nullptr : it->second.get();
+}
+
+bool Swarm::is_active(PeerId id) const {
+  const Peer* p = peer(id);
+  return p != nullptr && p->active;
+}
+
+std::vector<PeerId> Swarm::active_peers() const {
+  std::vector<PeerId> out;
+  out.reserve(peers_.size());
+  for (const auto& [id, p] : peers_) {
+    if (p->active) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());  // deterministic order for RNG consumers
+  return out;
+}
+
+void Swarm::add_availability(Peer& p, const Bitfield& bits, int sign) {
+  auto& av = avail_[p.id];
+  for (PieceIndex i : bits.to_vector()) {
+    av[i] = static_cast<std::uint32_t>(static_cast<std::int64_t>(av[i]) + sign);
+  }
+}
+
+bool Swarm::connect(PeerId a, PeerId b) {
+  if (a == b) return false;
+  Peer* pa = peer(a);
+  Peer* pb = peer(b);
+  if (!pa || !pb || !pa->active || !pb->active) return false;
+  if (pa->is_neighbor(b)) return false;
+
+  const auto over_cap = [&](const Peer& p) {
+    if (p.neighbors.size() < cfg_.max_neighbors) return false;
+    // Large-view free-riders accept (and hold) unbounded neighbor sets.
+    return !(p.freerider && cfg_.freerider_large_view);
+  };
+  if (over_cap(*pa) || over_cap(*pb)) return false;
+
+  pa->neighbors.push_back(b);
+  pb->neighbors.push_back(a);
+  add_availability(*pa, pb->have, +1);
+  add_availability(*pb, pa->have, +1);
+  proto_.on_neighbor_added(a, b);
+  return true;
+}
+
+void Swarm::disconnect(PeerId a, PeerId b) {
+  Peer* pa = peer(a);
+  Peer* pb = peer(b);
+  if (!pa || !pb) return;
+  const auto erase_from = [](Peer& p, PeerId x) {
+    auto it = std::find(p.neighbors.begin(), p.neighbors.end(), x);
+    if (it == p.neighbors.end()) return false;
+    p.neighbors.erase(it);
+    return true;
+  };
+  if (!erase_from(*pa, b)) return;
+  erase_from(*pb, a);
+  add_availability(*pa, pb->have, -1);
+  add_availability(*pb, pa->have, -1);
+  proto_.on_neighbor_removed(a, b);
+}
+
+void Swarm::refresh_neighbors(PeerId p) {
+  if (!is_active(p)) return;
+  for (PeerId n : tracker_.neighbor_list(p, rng_)) {
+    if (is_active(n)) connect(p, n);
+  }
+}
+
+bool Swarm::needs_from(PeerId a, PeerId b) const {
+  const Peer* pa = peer(a);
+  const Peer* pb = peer(b);
+  if (!pa || !pb) return false;
+  // requested ⊇ have, so "not requested" means truly needed.
+  return pa->requested.interested_in(pb->have);
+}
+
+std::vector<PieceIndex> Swarm::needed_pieces(PeerId chooser, PeerId owner) const {
+  const Peer* pc = peer(chooser);
+  const Peer* po = peer(owner);
+  if (!pc || !po) return {};
+  return pc->requested.missing_from(po->have);
+}
+
+std::uint32_t Swarm::availability(PeerId p, PieceIndex i) const {
+  const auto it = avail_.find(p);
+  if (it == avail_.end() || i >= it->second.size()) return 0;
+  return it->second[i];
+}
+
+std::optional<PieceIndex> Swarm::select_lrf(PeerId chooser, PeerId owner) {
+  std::vector<PieceIndex> candidates = needed_pieces(chooser, owner);
+  if (candidates.empty()) return std::nullopt;
+
+  if (cfg_.piece_policy == PiecePolicy::kSequentialWindow) {
+    // Streaming: restrict to the playback window past the playhead; rarest
+    // within the window, lowest index on ties (deadline pressure). Falls
+    // back to plain LRF when the window is fully claimed, preserving
+    // liveness.
+    const Peer* pc = peer(chooser);
+    const PieceIndex playhead = pc->have.first_missing();
+    const PieceIndex window_end = static_cast<PieceIndex>(
+        std::min<std::size_t>(piece_count_, playhead + cfg_.stream_window));
+    std::vector<PieceIndex> windowed;
+    for (PieceIndex c : candidates) {
+      if (c >= playhead && c < window_end) windowed.push_back(c);
+    }
+    if (!windowed.empty()) {
+      const auto& av = avail_[chooser];
+      PieceIndex best = windowed.front();
+      for (PieceIndex c : windowed) {
+        if (av[c] < av[best] || (av[c] == av[best] && c < best)) best = c;
+      }
+      return best;
+    }
+  }
+
+  const auto& av = avail_[chooser];
+  PieceIndex best = candidates.front();
+  std::uint32_t best_avail = av[best];
+  std::size_t ties = 1;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const PieceIndex c = candidates[i];
+    if (av[c] < best_avail) {
+      best = c;
+      best_avail = av[c];
+      ties = 1;
+    } else if (av[c] == best_avail) {
+      // Reservoir: uniform among rarest.
+      ++ties;
+      if (rng_.index(ties) == 0) best = c;
+    }
+  }
+  return best;
+}
+
+sim::FlowId Swarm::start_upload(PeerId from, PeerId to, PieceIndex piece,
+                                double weight, TransferFn on_done) {
+  Peer* src = peer(from);
+  Peer* dst = peer(to);
+  if (!src || !dst || !src->active || !dst->active)
+    throw std::logic_error("start_upload: inactive endpoint");
+  if (piece >= piece_count_) throw std::out_of_range("start_upload: bad piece");
+  dst->requested.set(piece);
+
+  const sim::FlowId id = bw_.start_flow(
+      from, to, static_cast<double>(cfg_.piece_bytes), [this](sim::FlowId fid) {
+        const auto it = flows_.find(fid);
+        if (it == flows_.end()) return;
+        FlowInfo info = std::move(it->second);
+        flows_.erase(it);
+        auto& v = flows_to_[info.to];
+        v.erase(std::remove(v.begin(), v.end(), fid), v.end());
+
+        auto& up = metrics_.record(info.from);
+        up.pieces_uploaded += 1;
+        up.bytes_uploaded += static_cast<double>(cfg_.piece_bytes);
+        metrics_.record(info.to).bytes_downloaded +=
+            static_cast<double>(cfg_.piece_bytes);
+
+        if (info.on_done) info.on_done(info.from, info.to, info.piece, true);
+      },
+      weight);
+  flows_[id] = FlowInfo{from, to, piece, std::move(on_done)};
+  flows_to_[to].push_back(id);
+  return id;
+}
+
+void Swarm::grant_piece(PeerId to, PieceIndex piece, PeerId from) {
+  Peer* t = peer(to);
+  if (!t || piece >= piece_count_) return;
+  if (t->have.get(piece)) return;  // duplicate delivery guard
+  t->have.set(piece);
+  t->requested.set(piece);
+
+  auto& rec = metrics_.record(to);
+  rec.pieces_downloaded += 1;
+  last_any_progress_ = sim_.now();
+  if (t->freerider) last_freerider_progress_ = sim_.now();
+  if (metrics_.tracing(to)) metrics_.trace_completed(to, piece, sim_.now());
+
+  // HAVE broadcast: neighbors' availability counters pick up the piece.
+  for (PeerId n : t->neighbors) {
+    auto it = avail_.find(n);
+    if (it != avail_.end()) ++it->second[piece];
+  }
+
+  proto_.on_piece_complete(to, piece, from);
+
+  if (t->have.complete()) {
+    const PeerId id = to;
+    sim_.schedule_in(0.0, [this, id] { finish_peer(id); });
+  } else if (t->freerider && cfg_.freerider_whitewash && !t->seeder) {
+    // Whitewash as soon as a (free) piece is banked (§IV-C).
+    const PeerId id = to;
+    sim_.schedule_in(0.01, [this, id] {
+      if (is_active(id)) whitewash(id);
+    });
+  }
+}
+
+void Swarm::send_control(std::function<void()> fn) {
+  sim_.schedule_in(cfg_.control_latency, std::move(fn));
+}
+
+void Swarm::finish_peer(PeerId id) {
+  Peer* p = peer(id);
+  if (!p || !p->active || p->seeder) return;
+  metrics_.record(id).finish_time = sim_.now();
+  const bool compliant = !p->freerider;
+  const bool replace = cfg_.replace_on_finish && sim_.now() < cfg_.max_sim_time;
+  const double kbps = p->upload_kbps;
+  const bool was_freerider = p->freerider;
+  depart(id);
+  if (compliant) {
+    assert(compliant_outstanding_ > 0);
+    --compliant_outstanding_;
+    // Start the free-rider stall clock only once compliant work is done.
+    if (compliant_outstanding_ == 0)
+      last_freerider_progress_ = std::max(last_freerider_progress_, sim_.now());
+  } else if (freerider_outstanding_ > 0) {
+    --freerider_outstanding_;
+  }
+  if (replace) {
+    // Figure 13's churn model: an identical newcomer takes the slot.
+    const PeerId fresh = allocate_id();
+    auto np = std::make_unique<Peer>();
+    np->id = fresh;
+    np->freerider = was_freerider;
+    np->colluder = was_freerider && cfg_.freerider_collude;
+    np->upload_kbps = kbps;
+    np->have = Bitfield(piece_count_);
+    np->requested = Bitfield(piece_count_);
+    np->join_time = sim_.now();
+    avail_[fresh].assign(piece_count_, 0);
+    auto& rec = metrics_.record(fresh);
+    rec.seeder = false;
+    rec.freerider = np->freerider;
+    rec.colluder = np->colluder;
+    rec.upload_kbps = kbps;
+    rec.join_time = sim_.now();
+    bw_.set_capacity(fresh, np->freerider ? 0.0
+                                          : util::kbps_to_bytes_per_sec(kbps));
+    peers_[fresh] = std::move(np);
+    tracker_.announce(fresh);
+    ++active_leechers_;
+    if (!was_freerider) ++compliant_outstanding_;
+    setup_peer_links(fresh);
+    proto_.on_peer_join(fresh);
+  }
+  check_done();
+}
+
+void Swarm::depart(PeerId id) {
+  Peer* p = peer(id);
+  if (!p || !p->active) return;
+  p->active = false;
+  metrics_.record(id).depart_time = sim_.now();
+
+  const std::vector<PeerId> nbrs = p->neighbors;
+  for (PeerId n : nbrs) disconnect(id, n);
+
+  // Abort transfers in both directions.
+  std::vector<sim::FlowId> dead;
+  for (const auto& [fid, info] : flows_) {
+    if (info.from == id || info.to == id) dead.push_back(fid);
+  }
+  for (sim::FlowId fid : dead) {
+    auto it = flows_.find(fid);
+    if (it == flows_.end()) continue;
+    FlowInfo info = std::move(it->second);
+    flows_.erase(it);
+    auto& v = flows_to_[info.to];
+    v.erase(std::remove(v.begin(), v.end(), fid), v.end());
+    bw_.cancel_flow(fid);
+    if (Peer* dst = peer(info.to); dst && !dst->have.get(info.piece)) {
+      dst->requested.clear(info.piece);  // allow a re-fetch elsewhere
+    }
+    if (info.on_done) info.on_done(info.from, info.to, info.piece, false);
+  }
+  flows_to_.erase(id);
+
+  proto_.on_peer_depart(id);
+  tracker_.depart(id);
+  if (!p->seeder && active_leechers_ > 0) --active_leechers_;
+}
+
+PeerId Swarm::whitewash(PeerId id) {
+  Peer* p = peer(id);
+  if (!p || !p->active || p->seeder) return id;
+  TC_DEBUG("whitewash: " << id);
+
+  const std::vector<PeerId> nbrs = p->neighbors;
+  for (PeerId n : nbrs) disconnect(id, n);
+
+  std::vector<sim::FlowId> dead;
+  for (const auto& [fid, info] : flows_) {
+    if (info.from == id || info.to == id) dead.push_back(fid);
+  }
+  for (sim::FlowId fid : dead) {
+    auto it = flows_.find(fid);
+    if (it == flows_.end()) continue;
+    FlowInfo info = std::move(it->second);
+    flows_.erase(it);
+    auto& v = flows_to_[info.to];
+    v.erase(std::remove(v.begin(), v.end(), fid), v.end());
+    bw_.cancel_flow(fid);
+    if (Peer* dst = peer(info.to); dst && !dst->have.get(info.piece)) {
+      dst->requested.clear(info.piece);
+    }
+    if (info.on_done) info.on_done(info.from, info.to, info.piece, false);
+  }
+  flows_to_.erase(id);
+
+  proto_.on_peer_depart(id);
+  tracker_.depart(id);
+
+  // Re-key: same logical peer, fresh identity, download state kept.
+  const PeerId fresh = allocate_id();
+  auto node = peers_.extract(id);
+  node.key() = fresh;
+  peers_.insert(std::move(node));
+  Peer& moved = *peers_[fresh];
+  moved.id = fresh;
+  moved.requested = moved.have;  // in-flight claims die with the identity
+  avail_.erase(id);
+  avail_[fresh].assign(piece_count_, 0);
+  metrics_.rekey(id, fresh);
+  bw_.set_capacity(fresh, bw_.capacity(id));
+  tracker_.announce(fresh);
+
+  proto_.on_peer_rekeyed(id, fresh);
+  setup_peer_links(fresh);
+  proto_.on_peer_join(fresh);
+  return fresh;
+}
+
+void Swarm::setup_peer_links(PeerId id) {
+  refresh_neighbors(id);
+  schedule_maintenance(id);
+}
+
+void Swarm::schedule_maintenance(PeerId id) {
+  // Periodic overlay maintenance (and the free-rider large-view loop).
+  sim_.schedule_in(cfg_.rechoke_period, [this, id] {
+    if (!is_active(id)) return;
+    maintenance_tick(id);
+    schedule_maintenance(id);
+  });
+}
+
+void Swarm::maintenance_tick(PeerId id) {
+  Peer* p = peer(id);
+  if (!p || !p->active) return;
+  if (p->freerider && cfg_.freerider_large_view) {
+    // Large-view exploit: fetch a fresh list every rechoke period and
+    // connect to everyone on it (§IV-C).
+    refresh_neighbors(id);
+    return;
+  }
+  if (p->neighbors.size() < cfg_.min_neighbors) {
+    refresh_neighbors(id);
+    return;
+  }
+  // Starvation guard: a leecher whose whole neighborhood has nothing it
+  // needs re-announces to the tracker for fresh peers (otherwise an
+  // endgame cluster with identical bitfields can deadlock away from the
+  // seeder).
+  if (!p->seeder && !p->have.complete()) {
+    bool useful = false;
+    for (PeerId n : p->neighbors) {
+      if (needs_from(id, n)) {
+        useful = true;
+        break;
+      }
+    }
+    if (!useful) {
+      // Make room before re-announcing if we're at the connection cap.
+      while (p->neighbors.size() + 5 > cfg_.max_neighbors) {
+        disconnect(id, p->neighbors[rng_.index(p->neighbors.size())]);
+      }
+      refresh_neighbors(id);
+    }
+  }
+}
+
+void Swarm::join_leecher(std::size_t arrival_index, SimTime now) {
+  const PeerId id = allocate_id();
+  auto p = std::make_unique<Peer>();
+  p->id = id;
+  p->upload_kbps =
+      cfg_.leecher_upload_kbps[arrival_index % cfg_.leecher_upload_kbps.size()];
+  p->freerider = std::binary_search(freerider_arrival_index_.begin(),
+                                    freerider_arrival_index_.end(),
+                                    arrival_index);
+  p->colluder = p->freerider && cfg_.freerider_collude;
+  p->have = Bitfield(piece_count_);
+  p->requested = Bitfield(piece_count_);
+  p->join_time = now;
+
+  // Fig 6(b): pre-populate a fraction of random pieces (never all).
+  if (cfg_.initial_piece_fraction > 0.0) {
+    auto want = static_cast<std::size_t>(cfg_.initial_piece_fraction *
+                                         static_cast<double>(piece_count_));
+    want = std::min(want, piece_count_ - 1);
+    for (std::size_t i : rng_.sample_indices(piece_count_, want)) {
+      p->have.set(static_cast<PieceIndex>(i));
+      p->requested.set(static_cast<PieceIndex>(i));
+    }
+  }
+
+  auto& rec = metrics_.record(id);
+  rec.freerider = p->freerider;
+  rec.colluder = p->colluder;
+  rec.upload_kbps = p->upload_kbps;
+  rec.join_time = now;
+  rec.pieces_downloaded = static_cast<std::int64_t>(p->have.count());
+
+  if (trace_extremes_ && !p->freerider) {
+    const auto& classes = cfg_.leecher_upload_kbps;
+    const double lo = *std::min_element(classes.begin(), classes.end());
+    const double hi = *std::max_element(classes.begin(), classes.end());
+    if (traced_slow_ == net::kNoPeer && p->upload_kbps == lo) {
+      traced_slow_ = id;
+      metrics_.enable_piece_trace(id);
+    } else if (traced_fast_ == net::kNoPeer && p->upload_kbps == hi) {
+      traced_fast_ = id;
+      metrics_.enable_piece_trace(id);
+    }
+  }
+
+  bw_.set_capacity(id, p->freerider
+                           ? 0.0
+                           : util::kbps_to_bytes_per_sec(p->upload_kbps));
+  avail_[id].assign(piece_count_, 0);
+  peers_[id] = std::move(p);
+  tracker_.announce(id);
+  ++active_leechers_;
+
+  setup_peer_links(id);
+  proto_.on_peer_join(id);
+}
+
+void Swarm::check_done() {
+  if (cfg_.replace_on_finish) return;  // horizon-bounded scenario
+  if (arrivals_started_ != arrivals_.size()) return;
+  // Global liveness valve: a wedged swarm (nothing completing anywhere)
+  // ends rather than idling to max_sim_time.
+  if (sim_.now() - std::max(last_any_progress_, arrivals_.back()) >
+      cfg_.global_stall_timeout) {
+    done_ = true;
+    return;
+  }
+  if (compliant_outstanding_ != 0) return;
+  if (!cfg_.wait_for_freeriders || freerider_outstanding_ == 0) {
+    done_ = true;
+    return;
+  }
+  // Free-riders still unfinished: give them until they stall (e.g. T-Chain
+  // free-riders never complete a piece and must not hold the run hostage).
+  if (sim_.now() - last_freerider_progress_ > cfg_.freerider_stall_timeout) {
+    done_ = true;
+  }
+}
+
+void Swarm::run() {
+  // Seeder (stays for the whole run, paper §IV-A).
+  seeder_id_ = allocate_id();
+  {
+    auto s = std::make_unique<Peer>();
+    s->id = seeder_id_;
+    s->seeder = true;
+    s->upload_kbps = cfg_.seeder_upload_kbps;
+    s->have = Bitfield(piece_count_);
+    for (PieceIndex i = 0; i < piece_count_; ++i) s->have.set(i);
+    s->requested = s->have;
+    auto& rec = metrics_.record(seeder_id_);
+    rec.seeder = true;
+    rec.upload_kbps = cfg_.seeder_upload_kbps;
+    bw_.set_capacity(seeder_id_,
+                     util::kbps_to_bytes_per_sec(cfg_.seeder_upload_kbps));
+    avail_[seeder_id_].assign(piece_count_, 0);
+    peers_[seeder_id_] = std::move(s);
+    tracker_.announce(seeder_id_);
+  }
+
+  compliant_outstanding_ =
+      arrivals_.size() - freerider_arrival_index_.size();
+  freerider_outstanding_ = freerider_arrival_index_.size();
+
+  // Periodic housekeeping: evaluates the free-rider stall timeout.
+  struct HkDriver {
+    Swarm* s;
+    void operator()() const {
+      s->check_done();
+      if (!s->done_) s->sim_.schedule_in(50.0, *this);
+    }
+  };
+  sim_.schedule_in(50.0, HkDriver{this});
+
+  proto_.on_run_start();
+  proto_.on_peer_join(seeder_id_);
+
+  for (std::size_t i = 0; i < arrivals_.size(); ++i) {
+    const SimTime t = arrivals_[i];
+    sim_.schedule_at(t, [this, i, t] {
+      ++arrivals_started_;
+      join_leecher(i, t);
+    });
+  }
+
+  check_done();
+  while (!done_ && sim_.step()) {
+    if (sim_.now() > cfg_.max_sim_time) break;
+  }
+}
+
+}  // namespace tc::bt

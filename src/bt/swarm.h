@@ -1,0 +1,153 @@
+// Swarm orchestrator: membership, arrivals/departures, neighbor overlay,
+// availability tracking with Local-Rarest-First selection, bandwidth-exact
+// piece transfer, the shared attack machinery (zero-upload free-riders,
+// large-view exploit, whitewashing), and metrics. Incentive logic plugs in
+// through the Protocol interface (src/bt/protocol.h).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/analysis/metrics.h"
+#include "src/bt/config.h"
+#include "src/bt/peer.h"
+#include "src/bt/protocol.h"
+#include "src/net/tracker.h"
+#include "src/sim/bandwidth.h"
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+
+namespace tc::bt {
+
+class Swarm {
+ public:
+  // `arrival_times` gives the join time of each leecher; if empty, a
+  // 10-second flash crowd (paper §IV-A) is generated for
+  // cfg.leecher_count leechers.
+  Swarm(SwarmConfig cfg, Protocol& proto,
+        std::vector<SimTime> arrival_times = {});
+
+  // Runs to completion: all compliant leechers finished, or
+  // cfg.max_sim_time reached (whichever is first).
+  void run();
+
+  // --- Accessors ------------------------------------------------------------
+  sim::Simulator& simulator() { return sim_; }
+  sim::BandwidthModel& bandwidth() { return bw_; }
+  util::Rng& rng() { return rng_; }
+  const SwarmConfig& config() const { return cfg_; }
+  analysis::SwarmMetrics& metrics() { return metrics_; }
+  const analysis::SwarmMetrics& metrics() const { return metrics_; }
+  std::size_t piece_count() const { return piece_count_; }
+  PeerId seeder_id() const { return seeder_id_; }
+  SimTime end_time() const;
+
+  Peer* peer(PeerId id);
+  const Peer* peer(PeerId id) const;
+  bool is_active(PeerId id) const;
+  std::vector<PeerId> active_peers() const;
+  std::size_t active_leecher_count() const { return active_leechers_; }
+
+  // --- Neighbor overlay ----------------------------------------------------
+  // Connects a<->b respecting max_neighbors (large-view free-riders accept
+  // beyond the cap). Returns true if the link was created.
+  bool connect(PeerId a, PeerId b);
+  void disconnect(PeerId a, PeerId b);
+  // Tracker round-trip: fetch a fresh list and connect to its members.
+  void refresh_neighbors(PeerId p);
+
+  // --- Interest / piece selection --------------------------------------------
+  // True if `a` needs at least one completed piece of `b` that `a` neither
+  // has nor has in flight.
+  bool needs_from(PeerId a, PeerId b) const;
+  // Pieces of `owner` that `chooser` needs (not had, not in flight).
+  std::vector<PieceIndex> needed_pieces(PeerId chooser, PeerId owner) const;
+  // How many of `p`'s neighbors have piece `i`.
+  std::uint32_t availability(PeerId p, PieceIndex i) const;
+  // Local-Rarest-First: rarest (w.r.t. chooser's neighborhood) piece that
+  // `owner` has and `chooser` needs; random tie-break. nullopt if none.
+  std::optional<PieceIndex> select_lrf(PeerId chooser, PeerId owner);
+
+  // --- Transfers ----------------------------------------------------------------
+  // Callback on delivery or abort (peer departed mid-transfer).
+  using TransferFn =
+      std::function<void(PeerId from, PeerId to, PieceIndex piece, bool ok)>;
+
+  // Starts a piece-sized upload. Marks the piece in-flight for `to`.
+  // `weight` is the flow's share weight at the uploader (PropShare).
+  sim::FlowId start_upload(PeerId from, PeerId to, PieceIndex piece,
+                           double weight, TransferFn on_done);
+
+  // Marks `piece` completed (decrypted / plainly received) at `to`:
+  // updates counters, availability (HAVE), piece-trace metrics; notifies
+  // the protocol; finishes + departs the peer when the file is complete.
+  void grant_piece(PeerId to, PieceIndex piece, PeerId from);
+
+  // Control-plane message (receipt, key, reassignment): runs `fn` after
+  // cfg.control_latency simulated seconds.
+  void send_control(std::function<void()> fn);
+
+  // --- Lifecycle / attacks -----------------------------------------------------
+  void depart(PeerId p);
+  // Identity change keeping download state; returns the new id.
+  PeerId whitewash(PeerId p);
+
+  // Figure 5 support: when enabled before run(), the first leecher of the
+  // slowest class and the first of the fastest class get piece-timeline
+  // traces in metrics().
+  void set_trace_extremes(bool on) { trace_extremes_ = on; }
+  PeerId traced_slow_peer() const { return traced_slow_; }
+  PeerId traced_fast_peer() const { return traced_fast_; }
+
+ private:
+  PeerId allocate_id() { return next_id_++; }
+  void join_leecher(std::size_t arrival_index, SimTime now);
+  void setup_peer_links(PeerId id);
+  void schedule_maintenance(PeerId id);
+  void maintenance_tick(PeerId id);
+  void finish_peer(PeerId id);
+  void check_done();
+  void add_availability(Peer& p, const Bitfield& bits, int sign);
+
+  SwarmConfig cfg_;
+  Protocol& proto_;
+  sim::Simulator sim_;
+  sim::BandwidthModel bw_;
+  util::Rng rng_;
+  net::Tracker tracker_;
+  analysis::SwarmMetrics metrics_;
+
+  std::size_t piece_count_ = 0;
+  PeerId seeder_id_ = net::kNoPeer;
+  PeerId next_id_ = 1;
+
+  std::unordered_map<PeerId, std::unique_ptr<Peer>> peers_;
+  // Neighborhood availability counters, parallel to peers_.
+  std::unordered_map<PeerId, std::vector<std::uint32_t>> avail_;
+
+  struct FlowInfo {
+    PeerId from, to;
+    PieceIndex piece;
+    TransferFn on_done;
+  };
+  std::unordered_map<sim::FlowId, FlowInfo> flows_;
+  std::unordered_map<PeerId, std::vector<sim::FlowId>> flows_to_;
+
+  std::vector<SimTime> arrivals_;
+  std::size_t arrivals_started_ = 0;
+  std::size_t compliant_outstanding_ = 0;  // joined-or-pending, unfinished
+  std::size_t freerider_outstanding_ = 0;
+  SimTime last_freerider_progress_ = 0.0;
+  SimTime last_any_progress_ = 0.0;
+  std::size_t active_leechers_ = 0;
+  std::vector<std::size_t> freerider_arrival_index_;
+  bool done_ = false;
+  bool trace_extremes_ = false;
+  PeerId traced_slow_ = net::kNoPeer;
+  PeerId traced_fast_ = net::kNoPeer;
+};
+
+}  // namespace tc::bt

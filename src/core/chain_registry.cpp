@@ -1,0 +1,61 @@
+#include "src/core/chain_registry.h"
+
+namespace tc::core {
+
+ChainId ChainRegistry::create(PeerId initiator, bool by_seeder, SimTime now) {
+  const ChainId id = next_id_++;
+  ChainInfo info;
+  info.initiator = initiator;
+  info.by_seeder = by_seeder;
+  info.created = now;
+  chains_.emplace(id, info);
+  ++active_;
+  if (by_seeder) {
+    ++created_seeder_;
+  } else {
+    ++created_leecher_;
+  }
+  return id;
+}
+
+void ChainRegistry::extend(ChainId id) {
+  const auto it = chains_.find(id);
+  if (it != chains_.end()) ++it->second.length;
+}
+
+void ChainRegistry::terminate(ChainId id, SimTime now) {
+  const auto it = chains_.find(id);
+  if (it == chains_.end() || it->second.terminated >= 0.0) return;
+  it->second.terminated = now;
+  if (active_ > 0) --active_;
+  ++terminated_count_;
+  terminated_length_sum_ += it->second.length;
+}
+
+bool ChainRegistry::is_active(ChainId id) const {
+  const auto it = chains_.find(id);
+  return it != chains_.end() && it->second.terminated < 0.0;
+}
+
+double ChainRegistry::opportunistic_fraction() const {
+  const double total = static_cast<double>(total_created());
+  return total > 0 ? static_cast<double>(created_leecher_) / total : 0.0;
+}
+
+const ChainRegistry::ChainInfo* ChainRegistry::info(ChainId id) const {
+  const auto it = chains_.find(id);
+  return it == chains_.end() ? nullptr : &it->second;
+}
+
+double ChainRegistry::mean_terminated_length() const {
+  return terminated_count_ ? terminated_length_sum_ /
+                                 static_cast<double>(terminated_count_)
+                           : 0.0;
+}
+
+void ChainRegistry::sample(SimTime now) {
+  census_.push_back(
+      CensusPoint{now, active_, created_seeder_, created_leecher_});
+}
+
+}  // namespace tc::core

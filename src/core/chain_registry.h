@@ -1,0 +1,73 @@
+// Chain bookkeeping and the census statistics behind Figures 10 and 11:
+// number of active chains over time, cumulative chains created by the
+// seeder vs. by leechers (opportunistic seeding), and chain lengths.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/peer_id.h"
+#include "src/util/units.h"
+
+namespace tc::core {
+
+using net::PeerId;
+using ChainId = std::uint64_t;
+using util::SimTime;
+
+class ChainRegistry {
+ public:
+  ChainId create(PeerId initiator, bool by_seeder, SimTime now);
+
+  // A transaction was appended to the chain.
+  void extend(ChainId id);
+
+  // Chain reached a terminal state; idempotent.
+  void terminate(ChainId id, SimTime now);
+
+  bool is_active(ChainId id) const;
+  std::size_t active_count() const { return active_; }
+
+  std::uint64_t total_created() const { return created_seeder_ + created_leecher_; }
+  std::uint64_t created_by_seeder() const { return created_seeder_; }
+  std::uint64_t created_by_leechers() const { return created_leecher_; }
+
+  // Fraction of all chains initiated by leechers (opportunistic seeding,
+  // Figure 11(b)).
+  double opportunistic_fraction() const;
+
+  struct ChainInfo {
+    PeerId initiator = net::kNoPeer;
+    bool by_seeder = false;
+    SimTime created = 0.0;
+    SimTime terminated = -1.0;
+    std::uint32_t length = 0;  // transactions
+  };
+  const ChainInfo* info(ChainId id) const;
+
+  // Mean length of terminated chains.
+  double mean_terminated_length() const;
+
+  // --- Census time series (Figure 10) -------------------------------------
+  void sample(SimTime now);
+  struct CensusPoint {
+    SimTime t;
+    std::size_t active_chains;
+    std::uint64_t cumulative_seeder;
+    std::uint64_t cumulative_leecher;
+  };
+  const std::vector<CensusPoint>& census() const { return census_; }
+
+ private:
+  std::unordered_map<ChainId, ChainInfo> chains_;
+  ChainId next_id_ = 1;
+  std::size_t active_ = 0;
+  std::uint64_t created_seeder_ = 0;
+  std::uint64_t created_leecher_ = 0;
+  std::uint64_t terminated_count_ = 0;
+  double terminated_length_sum_ = 0.0;
+  std::vector<CensusPoint> census_;
+};
+
+}  // namespace tc::core

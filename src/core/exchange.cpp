@@ -1,0 +1,99 @@
+#include "src/core/exchange.h"
+
+#include "src/crypto/hmac.h"
+
+namespace tc::core {
+
+util::Bytes derive_mac_key(PeerId a, PeerId b) {
+  // Order-independent so both ends derive the same key.
+  if (a > b) std::swap(a, b);
+  util::ByteWriter w;
+  w.str("tchain-mac-key-v1");
+  w.u32(a);
+  w.u32(b);
+  const auto d = crypto::sha256(w.data());
+  return util::Bytes(d.begin(), d.end());
+}
+
+DonorSession::DonorSession(TxId tx, std::uint64_t chain, PeerId donor,
+                           PeerId requestor, PeerId payee, PieceIndex piece,
+                           PeerId prev_donor, PieceIndex prev_piece,
+                           const util::Bytes& plaintext,
+                           const crypto::SymmetricCipher& cipher,
+                           crypto::KeySource& keys)
+    : key_(keys.next()) {
+  offer_.tx = tx;
+  offer_.chain = chain;
+  offer_.donor = donor;
+  offer_.requestor = requestor;
+  offer_.payee = payee;
+  offer_.piece = piece;
+  offer_.prev_donor = prev_donor;
+  offer_.prev_piece = prev_piece;
+  offer_.ciphertext = cipher.encrypt(key_, plaintext);
+}
+
+bool DonorSession::accept_receipt(const net::ReceiptMsg& receipt) {
+  if (receipted_) return true;
+  if (receipt.reciprocated_tx != offer_.tx) return false;
+  if (receipt.payee != offer_.payee) return false;
+  if (receipt.requestor != offer_.requestor) return false;
+  const auto mac_key = derive_mac_key(offer_.donor, offer_.payee);
+  const auto expect = net::receipt_mac(mac_key, receipt.reciprocated_tx,
+                                       receipt.payee, receipt.requestor,
+                                       receipt.piece);
+  if (!crypto::digest_equal(expect, receipt.mac)) return false;
+  receipted_ = true;
+  return true;
+}
+
+net::KeyReleaseMsg DonorSession::key_release() const {
+  net::KeyReleaseMsg m;
+  m.tx = offer_.tx;
+  m.piece = offer_.piece;
+  m.key = key_.serialize();
+  return m;
+}
+
+net::KeyReleaseMsg DonorSession::escrow_for_payee() const {
+  // Same payload; routing (to the payee instead of the requestor) is the
+  // transport's concern.
+  return key_release();
+}
+
+RequestorSession::RequestorSession(net::EncryptedPieceMsg msg)
+    : msg_(std::move(msg)) {}
+
+std::optional<util::Bytes> RequestorSession::complete(
+    const net::KeyReleaseMsg& release, const crypto::SymmetricCipher& cipher,
+    const std::optional<crypto::Digest256>& expected_hash) {
+  if (release.tx != msg_.tx || release.piece != msg_.piece) return std::nullopt;
+  crypto::SymmetricKey key;
+  try {
+    key = crypto::SymmetricKey::deserialize(release.key);
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+  util::Bytes plain = cipher.decrypt(key, msg_.ciphertext);
+  if (expected_hash) {
+    const auto got = crypto::sha256(plain);
+    if (!crypto::digest_equal(got, *expected_hash)) return std::nullopt;
+  }
+  completed_ = true;
+  return plain;
+}
+
+net::ReceiptMsg PayeeSession::make_receipt(
+    const net::EncryptedPieceMsg& reciprocation, PeerId original_donor,
+    TxId original_tx) {
+  net::ReceiptMsg r;
+  r.reciprocated_tx = original_tx;
+  r.payee = reciprocation.requestor;  // this payee is the new tx's requestor
+  r.requestor = reciprocation.donor;  // who reciprocated
+  r.piece = reciprocation.piece;
+  const auto mac_key = derive_mac_key(original_donor, r.payee);
+  r.mac = net::receipt_mac(mac_key, original_tx, r.payee, r.requestor, r.piece);
+  return r;
+}
+
+}  // namespace tc::core

@@ -1,0 +1,57 @@
+// Pure selection policies of the T-Chain protocol (§II-B2, §II-D1),
+// written against callbacks so they are unit-testable without a swarm.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/bt/bitfield.h"
+#include "src/net/peer_id.h"
+#include "src/util/rng.h"
+
+namespace tc::core {
+
+using net::PeerId;
+using net::PieceIndex;
+
+// Payee choice for the transaction a donor is about to start.
+struct PayeeQuery {
+  PeerId donor = net::kNoPeer;
+  PeerId requestor = net::kNoPeer;
+  // Candidate payees: the *donor's* neighbors (paper: "no such neighbor
+  // exists in the donor's (not requestor's) neighbor set").
+  std::vector<PeerId> donor_neighbors;
+  // Direct reciprocity test: does the requestor possess a completed piece
+  // the donor needs?
+  bool donor_needs_requestor = false;
+  // Donor is a seeder / has the complete file: direct reciprocity is
+  // meaningless for it.
+  bool donor_is_seeder = false;
+  // Ablation switch (DESIGN.md §6).
+  bool allow_direct = true;
+  // Candidate filter: active, not banned by flow control, and needs at
+  // least one piece from the requestor (including the piece in flight).
+  std::function<bool(PeerId)> payee_ok;
+};
+
+// Returns the donor itself (direct reciprocity), another peer (indirect),
+// or kNoPeer — in which case the upload must be unencrypted and the chain
+// terminates (§II-B3).
+PeerId select_payee(const PayeeQuery& q, util::Rng& rng);
+
+// Newcomer bootstrapping piece (§II-D1): a piece the donor has that BOTH
+// the requestor and the payee still need, so the requestor can reciprocate
+// by simply forwarding it. Uniformly random among candidates (the one spot
+// where T-Chain does not use LRF). `*_claimed` are have ∪ in-flight sets.
+std::optional<PieceIndex> select_bootstrap_piece(
+    const bt::Bitfield& donor_have, const bt::Bitfield& requestor_claimed,
+    const bt::Bitfield& payee_claimed, util::Rng& rng);
+
+// Opportunistic seeding trigger (§II-D3): a leecher may initiate a chain
+// iff it has at least one completed piece and no pending (unreciprocated)
+// obligations.
+bool may_opportunistically_seed(std::size_t completed_pieces,
+                                std::size_t unmet_obligations);
+
+}  // namespace tc::core

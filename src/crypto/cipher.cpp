@@ -1,0 +1,116 @@
+#include "src/crypto/cipher.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace tc::crypto {
+
+std::string SymmetricKey::fingerprint() const {
+  return util::to_hex(key.data(), 4);
+}
+
+util::Bytes SymmetricKey::serialize() const {
+  util::Bytes out;
+  out.reserve(key.size() + nonce.size());
+  out.insert(out.end(), key.begin(), key.end());
+  out.insert(out.end(), nonce.begin(), nonce.end());
+  return out;
+}
+
+SymmetricKey SymmetricKey::deserialize(const util::Bytes& data) {
+  SymmetricKey k;
+  if (data.size() != k.key.size() + k.nonce.size())
+    throw std::invalid_argument("SymmetricKey: bad serialized size");
+  std::memcpy(k.key.data(), data.data(), k.key.size());
+  std::memcpy(k.nonce.data(), data.data() + k.key.size(), k.nonce.size());
+  return k;
+}
+
+KeySource::KeySource(std::uint64_t seed) : rng_(seed) {}
+
+SymmetricKey KeySource::next() {
+  SymmetricKey k;
+  for (std::size_t i = 0; i < k.key.size(); i += 8) {
+    const std::uint64_t r = rng_.next_u64();
+    for (std::size_t j = 0; j < 8; ++j)
+      k.key[i + j] = static_cast<std::uint8_t>(r >> (8 * j));
+  }
+  // Mix a never-repeating counter into the nonce so two KeySources with the
+  // same RNG state still cannot emit identical (key, nonce) pairs twice.
+  const std::uint64_t ctr = ++issued_;
+  const std::uint64_t r = rng_.next_u64();
+  for (std::size_t j = 0; j < 8; ++j)
+    k.nonce[j] = static_cast<std::uint8_t>((r ^ ctr) >> (8 * j));
+  for (std::size_t j = 0; j < 4; ++j)
+    k.nonce[8 + j] = static_cast<std::uint8_t>(ctr >> (8 * j));
+  return k;
+}
+
+const char* cipher_kind_name(CipherKind kind) {
+  switch (kind) {
+    case CipherKind::kChaCha20: return "chacha20";
+    case CipherKind::kXteaCtr: return "xtea-ctr";
+  }
+  return "?";
+}
+
+namespace {
+
+class ChaCha20Cipher final : public SymmetricCipher {
+ public:
+  CipherKind kind() const override { return CipherKind::kChaCha20; }
+
+  util::Bytes encrypt(const SymmetricKey& key,
+                      const util::Bytes& plaintext) const override {
+    return chacha20_xor(key.key, key.nonce, 1, plaintext);
+  }
+
+  util::Bytes decrypt(const SymmetricKey& key,
+                      const util::Bytes& ciphertext) const override {
+    return chacha20_xor(key.key, key.nonce, 1, ciphertext);
+  }
+};
+
+class XteaCtrCipher final : public SymmetricCipher {
+ public:
+  CipherKind kind() const override { return CipherKind::kXteaCtr; }
+
+  util::Bytes encrypt(const SymmetricKey& key,
+                      const util::Bytes& plaintext) const override {
+    return xtea_ctr_xor(derive_key(key), derive_nonce(key), plaintext);
+  }
+
+  util::Bytes decrypt(const SymmetricKey& key,
+                      const util::Bytes& ciphertext) const override {
+    return encrypt(key, ciphertext);
+  }
+
+ private:
+  static XteaKey derive_key(const SymmetricKey& key) {
+    XteaKey k;
+    for (int i = 0; i < 4; ++i) {
+      std::uint32_t w = 0;
+      for (int j = 0; j < 4; ++j) w = (w << 8) | key.key[4 * i + j];
+      k[static_cast<std::size_t>(i)] = w;
+    }
+    return k;
+  }
+
+  static std::uint64_t derive_nonce(const SymmetricKey& key) {
+    std::uint64_t n = 0;
+    for (int j = 0; j < 8; ++j) n = (n << 8) | key.nonce[static_cast<std::size_t>(j)];
+    return n;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<SymmetricCipher> make_cipher(CipherKind kind) {
+  switch (kind) {
+    case CipherKind::kChaCha20: return std::make_unique<ChaCha20Cipher>();
+    case CipherKind::kXteaCtr: return std::make_unique<XteaCtrCipher>();
+  }
+  throw std::invalid_argument("unknown cipher kind");
+}
+
+}  // namespace tc::crypto

@@ -1,0 +1,71 @@
+// Typed per-transaction symmetric keys and the piece-cipher interface used
+// by the T-Chain exchange protocol.
+//
+// Paper notation: K^{i}_{D,R} is the fresh symmetric key the donor D uses
+// to encrypt piece p_i sent to requestor R (Table I). Keys are never
+// reused across transactions (footnote 2 of the paper), which KeySource
+// enforces by construction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/crypto/chacha20.h"
+#include "src/crypto/sha256.h"
+#include "src/crypto/xtea.h"
+#include "src/util/bytes.h"
+#include "src/util/rng.h"
+
+namespace tc::crypto {
+
+// A 256-bit symmetric key plus the nonce used for the single piece it
+// encrypts. Value type; comparable so tests can assert key identity.
+struct SymmetricKey {
+  std::array<std::uint8_t, 32> key{};
+  std::array<std::uint8_t, 12> nonce{};
+
+  bool operator==(const SymmetricKey&) const = default;
+
+  // Short fingerprint for logs ("K[ab12cd34]").
+  std::string fingerprint() const;
+
+  util::Bytes serialize() const;
+  static SymmetricKey deserialize(const util::Bytes& data);
+};
+
+// Deterministic key generator: derives a stream of unique keys from a seed.
+// Each call returns a fresh key, satisfying the paper's one-key-per-piece
+// requirement.
+class KeySource {
+ public:
+  explicit KeySource(std::uint64_t seed);
+  SymmetricKey next();
+  std::uint64_t keys_issued() const { return issued_; }
+
+ private:
+  util::Rng rng_;
+  std::uint64_t issued_ = 0;
+};
+
+enum class CipherKind : std::uint8_t { kChaCha20 = 0, kXteaCtr = 1 };
+
+const char* cipher_kind_name(CipherKind kind);
+
+// Stateless piece cipher. Both implementations are stream ciphers, so
+// ciphertext size == plaintext size (the paper's "almost complete resource"
+// costs the same bandwidth as the plaintext piece).
+class SymmetricCipher {
+ public:
+  virtual ~SymmetricCipher() = default;
+  virtual CipherKind kind() const = 0;
+  virtual util::Bytes encrypt(const SymmetricKey& key,
+                              const util::Bytes& plaintext) const = 0;
+  virtual util::Bytes decrypt(const SymmetricKey& key,
+                              const util::Bytes& ciphertext) const = 0;
+};
+
+std::unique_ptr<SymmetricCipher> make_cipher(CipherKind kind);
+
+}  // namespace tc::crypto

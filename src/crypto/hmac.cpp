@@ -1,0 +1,54 @@
+#include "src/crypto/hmac.h"
+
+#include <cstring>
+
+namespace tc::crypto {
+
+namespace {
+
+Digest256 hmac_core(const util::Bytes& key, const std::uint8_t* msg,
+                    std::size_t msg_len) {
+  constexpr std::size_t kBlock = 64;
+  std::uint8_t k0[kBlock] = {0};
+  if (key.size() > kBlock) {
+    const Digest256 kh = sha256(key);
+    std::memcpy(k0, kh.data(), kh.size());
+  } else {
+    std::memcpy(k0, key.data(), key.size());
+  }
+
+  std::uint8_t ipad[kBlock], opad[kBlock];
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k0[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k0[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ipad, kBlock);
+  inner.update(msg, msg_len);
+  const Digest256 inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad, kBlock);
+  outer.update(inner_digest.data(), inner_digest.size());
+  return outer.finish();
+}
+
+}  // namespace
+
+Digest256 hmac_sha256(const util::Bytes& key, const util::Bytes& message) {
+  return hmac_core(key, message.data(), message.size());
+}
+
+Digest256 hmac_sha256(const util::Bytes& key, std::string_view message) {
+  return hmac_core(key, reinterpret_cast<const std::uint8_t*>(message.data()),
+                   message.size());
+}
+
+bool digest_equal(const Digest256& a, const Digest256& b) {
+  unsigned diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace tc::crypto

@@ -1,0 +1,19 @@
+// HMAC-SHA256 (RFC 2104). T-Chain receipts ("payee C notifies donor A that
+// requestor B reciprocated") can be authenticated with an HMAC so that IP
+// spoofing / replay cannot forge reception reports (the paper points at
+// RFC 4953-style authentication; a keyed MAC is the standard realization).
+#pragma once
+
+#include "src/crypto/sha256.h"
+#include "src/util/bytes.h"
+
+namespace tc::crypto {
+
+Digest256 hmac_sha256(const util::Bytes& key, const util::Bytes& message);
+Digest256 hmac_sha256(const util::Bytes& key, std::string_view message);
+
+// Constant-time digest comparison (avoids timing side channels on receipt
+// verification).
+bool digest_equal(const Digest256& a, const Digest256& b);
+
+}  // namespace tc::crypto

@@ -1,0 +1,52 @@
+#include "src/crypto/xtea.h"
+
+namespace tc::crypto {
+
+namespace {
+constexpr std::uint32_t kDelta = 0x9e3779b9;
+constexpr unsigned kCycles = 32;
+}  // namespace
+
+std::uint64_t xtea_encrypt_block(const XteaKey& key, std::uint64_t block) {
+  std::uint32_t v0 = static_cast<std::uint32_t>(block >> 32);
+  std::uint32_t v1 = static_cast<std::uint32_t>(block);
+  std::uint32_t sum = 0;
+  for (unsigned i = 0; i < kCycles; ++i) {
+    v0 += (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key[sum & 3]);
+    sum += kDelta;
+    v1 += (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + key[(sum >> 11) & 3]);
+  }
+  return (std::uint64_t{v0} << 32) | v1;
+}
+
+std::uint64_t xtea_decrypt_block(const XteaKey& key, std::uint64_t block) {
+  std::uint32_t v0 = static_cast<std::uint32_t>(block >> 32);
+  std::uint32_t v1 = static_cast<std::uint32_t>(block);
+  std::uint32_t sum = kDelta * kCycles;
+  for (unsigned i = 0; i < kCycles; ++i) {
+    v1 -= (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + key[(sum >> 11) & 3]);
+    sum -= kDelta;
+    v0 -= (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key[sum & 3]);
+  }
+  return (std::uint64_t{v0} << 32) | v1;
+}
+
+util::Bytes xtea_ctr_xor(const XteaKey& key, std::uint64_t nonce,
+                         const util::Bytes& input) {
+  util::Bytes out(input.size());
+  std::uint64_t counter = 0;
+  std::size_t pos = 0;
+  while (pos < input.size()) {
+    const std::uint64_t ks = xtea_encrypt_block(key, nonce ^ counter);
+    ++counter;
+    const std::size_t take = std::min<std::size_t>(8, input.size() - pos);
+    for (std::size_t i = 0; i < take; ++i) {
+      out[pos + i] = input[pos + i] ^
+                     static_cast<std::uint8_t>(ks >> (56 - 8 * i));
+    }
+    pos += take;
+  }
+  return out;
+}
+
+}  // namespace tc::crypto

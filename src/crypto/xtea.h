@@ -1,0 +1,24 @@
+// XTEA block cipher (Needham & Wheeler, 1997) in CTR mode. Provided as a
+// second, even lighter-weight piece cipher so the overhead benchmark
+// (paper §III-C) can compare symmetric ciphers of different cost.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace tc::crypto {
+
+using XteaKey = std::array<std::uint32_t, 4>;
+
+// One 64-bit block, 64 rounds (32 cycles).
+std::uint64_t xtea_encrypt_block(const XteaKey& key, std::uint64_t block);
+std::uint64_t xtea_decrypt_block(const XteaKey& key, std::uint64_t block);
+
+// CTR mode: keystream = E(nonce64 || counter), XORed with data. Symmetric
+// for encrypt/decrypt.
+util::Bytes xtea_ctr_xor(const XteaKey& key, std::uint64_t nonce,
+                         const util::Bytes& input);
+
+}  // namespace tc::crypto

@@ -1,0 +1,111 @@
+#include "src/model/bootstrap_model.h"
+
+#include <cmath>
+
+namespace tc::model {
+
+double omega_prime_uniform(std::size_t M) {
+  // sum_{m=1}^{M-1} (1/(M-1)) * m/M = 1/2 exactly; the paper quotes 0.495
+  // for M = 100 with a 1/M prior, which this matches to within 1%.
+  double s = 0.0;
+  for (std::size_t m = 1; m < M; ++m)
+    s += static_cast<double>(m) / static_cast<double>(M);
+  return s / static_cast<double>(M - 1);
+}
+
+double omega_double_prime_uniform(std::size_t M) {
+  // Eq. (4): the inner factor (M-mi)! mj! / (M! (mj-mi)!) equals
+  // C(mj, mi) / C(M, mi) — the probability that peer i's mi pieces all lie
+  // inside peer j's mj pieces. Evaluated with log-gammas for stability.
+  const auto log_choose = [](double nn, double kk) {
+    return std::lgamma(nn + 1) - std::lgamma(kk + 1) - std::lgamma(nn - kk + 1);
+  };
+  const double p = 1.0 / static_cast<double>(M - 1);
+  double s = 0.0;
+  for (std::size_t mj = 1; mj < M; ++mj) {
+    for (std::size_t mi = 1; mi <= mj; ++mi) {
+      const double lc = log_choose(static_cast<double>(mj), static_cast<double>(mi)) -
+                        log_choose(static_cast<double>(M), static_cast<double>(mi));
+      s += p * p * std::exp(lc);
+    }
+  }
+  return s;
+}
+
+double bittorrent_rate(const ModelParams& p, double x) {
+  const double z = p.n - x;
+  return (1.0 - 1.0 / p.n) * std::pow(1.0 - p.delta / (p.n - 1.0), z);
+}
+
+namespace {
+
+double tchain_omega(const ModelParams& p, double x, double y) {
+  const double z = p.n - x - y;
+  const double w1 = omega_prime_uniform(p.M);
+  const double w2 = omega_double_prime_uniform(p.M);
+  return (x + w1 * y + w2 * (z - 1.0)) / (p.n - 1.0);
+}
+
+}  // namespace
+
+double tchain_rate(const ModelParams& p, double x, double y) {
+  const double z = p.n - x - y;
+  const double omega = tchain_omega(p, x, y);
+  const double exponent = p.K * omega * z;
+  return (1.0 - 1.0 / p.n) * std::pow(1.0 - 1.0 / (p.n - 1.0), exponent);
+}
+
+std::vector<TrajectoryPoint> bittorrent_trajectory(const ModelParams& p,
+                                                   double x0,
+                                                   std::size_t steps) {
+  std::vector<TrajectoryPoint> out;
+  out.reserve(steps + 1);
+  double x = x0;
+  for (std::size_t t = 0; t <= steps; ++t) {
+    out.push_back({static_cast<double>(t), x, 0.0, p.n - x});
+    x = x * (1.0 - p.beta) * bittorrent_rate(p, x) + p.alpha * p.n;
+    if (x < 0) x = 0;
+  }
+  return out;
+}
+
+std::vector<TrajectoryPoint> tchain_trajectory(const ModelParams& p, double x0,
+                                               double y0, std::size_t steps) {
+  std::vector<TrajectoryPoint> out;
+  out.reserve(steps + 1);
+  double x = x0, y = y0;
+  for (std::size_t t = 0; t <= steps; ++t) {
+    out.push_back({static_cast<double>(t), x, y, p.n - x - y});
+    // Eq. (2): probability an un-bootstrapped peer is bootstrapped this
+    // slot; eqs. (5)-(6): x -> y -> z pipeline (a newly chosen newcomer is
+    // "partially bootstrapped" one slot before it can reciprocate).
+    const double P = 1.0 - tchain_rate(p, x, y);
+    const double x_next = p.alpha * p.n + x * (1.0 - p.beta) * (1.0 - P);
+    const double y_next = x * (1.0 - p.beta) * P;
+    x = x_next;
+    y = y_next;
+    if (x < 0) x = 0;
+    if (y < 0) y = 0;
+  }
+  return out;
+}
+
+bool prop31_condition(const ModelParams& p, double xt, double yt, double xb) {
+  const double z = p.n - xt - yt;
+  const double w1 = omega_prime_uniform(p.M);
+  const double w2 = omega_double_prime_uniform(p.M);
+  const double lhs =
+      p.K * z * (xt + w1 * yt + w2 * (z - 1.0)) / (p.n - 1.0);
+  const double rhs = p.delta * (p.n - xb);
+  return lhs >= rhs;
+}
+
+bool prop32_condition(const ModelParams& p, double mu, double nu) {
+  const double w2 = omega_double_prime_uniform(p.M);
+  const double lhs = std::pow(1.0 - p.delta / (p.n - 1.0), p.n * (1.0 - nu));
+  const double rhs =
+      std::pow(1.0 - 1.0 / (p.n - 1.0), p.K * p.n * (1.0 - mu) * w2);
+  return lhs >= rhs;
+}
+
+}  // namespace tc::model

@@ -1,0 +1,62 @@
+// Analytic newcomer-bootstrapping dynamics from paper §III-B.
+//
+// Discrete-time difference equations for the expected number of
+// un-bootstrapped peers under (a) a BitTorrent-like protocol that
+// optimistically unchokes a random peer with probability delta per slot,
+// and (b) T-Chain, where every bootstrapped peer participates in K chains
+// per slot and indirect reciprocity designates un-bootstrapped peers as
+// payees with probability omega (eqs. 1-6), plus the sufficient conditions
+// of Propositions III.1 / III.2.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tc::model {
+
+struct ModelParams {
+  double n = 600;       // swarm size (constant when alpha == beta)
+  double alpha = 0.0;   // newcomer arrival rate (per peer per slot)
+  double beta = 0.0;    // departure rate
+  double delta = 0.2;   // BitTorrent optimistic-unchoke bandwidth share
+  double K = 2.0;       // chains per bootstrapped T-Chain peer per slot
+  std::size_t M = 100;  // number of file pieces
+};
+
+// omega' : probability a bootstrapped peer already has the single piece of
+// a partially bootstrapped peer = sum_m p_m * m / M. For uniform p_m,
+// omega' = (M+1)/(2M) ~ 0.5.
+double omega_prime_uniform(std::size_t M);
+
+// omega'' (eq. 4): probability peer j needs nothing from peer i, both
+// bootstrapped, piece counts uniform. ~ log(M)/M for large M.
+double omega_double_prime_uniform(std::size_t M);
+
+struct TrajectoryPoint {
+  double t;
+  double x;  // completely un-bootstrapped
+  double y;  // partially bootstrapped (T-Chain only; 0 for BitTorrent)
+  double z;  // bootstrapped
+};
+
+// Iterates eq. (1) from x(0) = x0 for `steps` slots.
+std::vector<TrajectoryPoint> bittorrent_trajectory(const ModelParams& p,
+                                                   double x0,
+                                                   std::size_t steps);
+
+// Iterates eqs. (2)-(6) from (x0, y0).
+std::vector<TrajectoryPoint> tchain_trajectory(const ModelParams& p, double x0,
+                                               double y0, std::size_t steps);
+
+// Per-slot bootstrapping rate E[x(t+1)|x(t)] / x(t) at a given state.
+double bittorrent_rate(const ModelParams& p, double x);
+double tchain_rate(const ModelParams& p, double x, double y);
+
+// Proposition III.1 sufficient condition (eq. 7): short-term, flash crowd.
+bool prop31_condition(const ModelParams& p, double xt, double yt, double xb);
+
+// Proposition III.2 sufficient condition (eq. 8): long-term,
+// xt + yt <= mu*n un-bootstrapped in T-Chain, xb >= nu*n in BitTorrent.
+bool prop32_condition(const ModelParams& p, double mu, double nu);
+
+}  // namespace tc::model

@@ -1,0 +1,14 @@
+// Peer identity. Identities are cheap to mint by design — whitewashing and
+// Sybil attacks hinge on exactly that — so PeerId is just a monotonically
+// assigned integer and the attack models mint fresh ones at will.
+#pragma once
+
+#include <cstdint>
+
+namespace tc::net {
+
+using PeerId = std::uint32_t;
+
+constexpr PeerId kNoPeer = 0xffffffffu;
+
+}  // namespace tc::net

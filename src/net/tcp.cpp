@@ -1,0 +1,160 @@
+#include "src/net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace tc::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write");
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+// Returns false on clean EOF at a frame boundary.
+bool read_all(int fd, std::uint8_t* data, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fd, data + got, len - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("read");
+    }
+    if (n == 0) {
+      if (got == 0) return false;
+      throw std::runtime_error("read: truncated frame");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+FrameSocket::~FrameSocket() { close(); }
+
+FrameSocket::FrameSocket(FrameSocket&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+FrameSocket& FrameSocket::operator=(FrameSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void FrameSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void FrameSocket::send_frame(const util::Bytes& payload) {
+  if (!valid()) throw std::runtime_error("send_frame on closed socket");
+  std::uint8_t hdr[4];
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  hdr[0] = static_cast<std::uint8_t>(n >> 24);
+  hdr[1] = static_cast<std::uint8_t>(n >> 16);
+  hdr[2] = static_cast<std::uint8_t>(n >> 8);
+  hdr[3] = static_cast<std::uint8_t>(n);
+  write_all(fd_, hdr, 4);
+  write_all(fd_, payload.data(), payload.size());
+}
+
+std::optional<util::Bytes> FrameSocket::recv_frame() {
+  if (!valid()) throw std::runtime_error("recv_frame on closed socket");
+  std::uint8_t hdr[4];
+  if (!read_all(fd_, hdr, 4)) return std::nullopt;
+  const std::uint32_t n = (std::uint32_t{hdr[0]} << 24) |
+                          (std::uint32_t{hdr[1]} << 16) |
+                          (std::uint32_t{hdr[2]} << 8) | std::uint32_t{hdr[3]};
+  constexpr std::uint32_t kMaxFrame = 64u * 1024 * 1024;
+  if (n > kMaxFrame) throw std::runtime_error("recv_frame: oversized frame");
+  util::Bytes payload(n);
+  if (n > 0 && !read_all(fd_, payload.data(), n))
+    throw std::runtime_error("recv_frame: truncated frame");
+  return payload;
+}
+
+std::optional<Message> FrameSocket::recv_message() {
+  auto frame = recv_frame();
+  if (!frame) return std::nullopt;
+  return decode_message(*frame);
+}
+
+FrameSocket FrameSocket::connect_to(const std::string& host,
+                                    std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("connect_to: bad address " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect");
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return FrameSocket(fd);
+}
+
+Listener::Listener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    throw_errno("bind");
+  if (::listen(fd_, 16) != 0) throw_errno("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    throw_errno("getsockname");
+  port_ = ntohs(addr.sin_port);
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+FrameSocket Listener::accept() {
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) throw_errno("accept");
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return FrameSocket(fd);
+}
+
+}  // namespace tc::net

@@ -1,0 +1,63 @@
+// Minimal blocking TCP transport with length-prefixed frames.
+//
+// The paper evaluates T-Chain in simulation; this transport exists to show
+// the protocol runs as specified over real sockets (examples/tcp_triangle
+// performs a full triangle exchange between three endpoints on loopback).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/net/message.h"
+#include "src/util/bytes.h"
+
+namespace tc::net {
+
+// RAII wrapper over a connected stream socket.
+class FrameSocket {
+ public:
+  FrameSocket() = default;
+  explicit FrameSocket(int fd) : fd_(fd) {}
+  ~FrameSocket();
+
+  FrameSocket(FrameSocket&& other) noexcept;
+  FrameSocket& operator=(FrameSocket&& other) noexcept;
+  FrameSocket(const FrameSocket&) = delete;
+  FrameSocket& operator=(const FrameSocket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  void close();
+
+  // Blocking. Throws std::runtime_error on I/O failure.
+  void send_frame(const util::Bytes& payload);
+  // Returns nullopt on orderly peer shutdown.
+  std::optional<util::Bytes> recv_frame();
+
+  void send_message(const Message& m) { send_frame(encode_message(m)); }
+  std::optional<Message> recv_message();
+
+  static FrameSocket connect_to(const std::string& host, std::uint16_t port);
+
+ private:
+  int fd_ = -1;
+};
+
+class Listener {
+ public:
+  // Binds to 127.0.0.1:port; port 0 picks an ephemeral port.
+  explicit Listener(std::uint16_t port);
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  FrameSocket accept();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace tc::net

@@ -1,0 +1,41 @@
+// BitTorrent-style tracker: keeps the swarm membership and answers
+// neighbor-list requests with up to `list_size` randomly selected members
+// (50 in the paper's setup). Purely a rendezvous service — it plays no role
+// in incentive enforcement, matching T-Chain's no-trusted-third-party goal.
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "src/net/peer_id.h"
+#include "src/util/rng.h"
+
+namespace tc::net {
+
+class Tracker {
+ public:
+  explicit Tracker(std::size_t list_size = 50) : list_size_(list_size) {}
+
+  void announce(PeerId peer);
+  void depart(PeerId peer);
+  bool contains(PeerId peer) const { return members_.count(peer) > 0; }
+  std::size_t size() const { return members_.size(); }
+
+  // Up to list_size() random members, excluding the requester itself.
+  // The requester need not be announced (a newcomer's first request).
+  std::vector<PeerId> neighbor_list(PeerId requester, util::Rng& rng) const;
+  std::vector<PeerId> neighbor_list(PeerId requester, util::Rng& rng,
+                                    std::size_t count) const;
+
+  std::size_t list_size() const { return list_size_; }
+
+ private:
+  std::size_t list_size_;
+  std::unordered_set<PeerId> members_;
+  // Dense mirror of members_ for O(k) sampling.
+  std::vector<PeerId> dense_;
+  mutable bool dense_dirty_ = false;
+};
+
+}  // namespace tc::net

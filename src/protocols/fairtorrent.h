@@ -1,0 +1,48 @@
+// FairTorrent [12]: deficit-based distributed fair exchange. Every peer
+// tracks, per neighbor, deficit = bytes sent - bytes received, and always
+// sends the next piece to the interested neighbor with the lowest deficit.
+// No choking, no bandwidth allocation — sends are serial at full rate.
+//
+// The known weakness the paper exploits (§IV-C): deficits are bound to
+// identities, so a whitewashing free-rider re-enters with deficit 0 and
+// collects one free piece per identity; seeders cannot be protected at all.
+#pragma once
+
+#include <unordered_map>
+
+#include "src/bt/protocol.h"
+#include "src/bt/swarm.h"
+
+namespace tc::protocols {
+
+using bt::PeerId;
+using bt::PieceIndex;
+
+class FairTorrentProtocol : public bt::Protocol {
+ public:
+  std::string name() const override { return "FairTorrent"; }
+  util::ByteCount default_piece_bytes() const override {
+    return 64 * util::kKiB;  // FairTorrent's basic exchange unit (§IV-A)
+  }
+
+  void on_peer_join(PeerId id) override;
+  void on_peer_depart(PeerId id) override;
+  void on_piece_complete(PeerId peer, PieceIndex piece, PeerId from) override;
+  void on_neighbor_added(PeerId a, PeerId b) override;
+
+  double deficit(PeerId peer, PeerId neighbor) const;
+
+ private:
+  struct FtState {
+    std::unordered_map<PeerId, double> deficit;  // sent - received
+    bool sending = false;
+  };
+
+  FtState& state(PeerId id) { return states_[id]; }
+  void next_send(PeerId id);
+  void tick(PeerId id);
+
+  std::unordered_map<PeerId, FtState> states_;
+};
+
+}  // namespace tc::protocols

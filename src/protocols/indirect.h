@@ -1,0 +1,89 @@
+// Indirect-reciprocity baselines from the paper's Table II.
+//
+// EigenTrust [13]: reputation-based unchoking. Peers accumulate local
+// trust from satisfactory downloads; a global trust vector is computed by
+// the EigenTrust power iteration over normalized local trust with a
+// pre-trusted seeder, and peers unchoke the most-trusted interested
+// neighbors, reserving ~10% of slots for zero-trust newcomers (the
+// bootstrap allotment the paper notes is "the target of strategic
+// free-riders"). Colluders mount the false-praise attack: they report
+// maximal local trust for each other.
+//
+// Dandelion [14]: central-server credit. Every piece delivery is mediated
+// by a trusted third party that moves one credit from the downloader to
+// the uploader; newcomers receive a fixed initial credit (earned "outside
+// the system" per the paper). Cheating is impossible, but whitewashing
+// re-mints the initial credit, and the server is the scalability/trust
+// cost the paper criticizes.
+//
+// Both are deliberately faithful-but-compact: the simulator computes the
+// EigenTrust iteration and the credit bank centrally, which matches how
+// these systems behave once converged.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/bt/protocol.h"
+#include "src/bt/swarm.h"
+#include "src/protocols/choking.h"
+
+namespace tc::protocols {
+
+class EigenTrustProtocol : public ChokingProtocol {
+ public:
+  std::string name() const override { return "EigenTrust"; }
+  util::ByteCount default_piece_bytes() const override {
+    return 256 * util::kKiB;
+  }
+
+  void on_run_start() override;
+  void on_piece_complete(PeerId peer, PieceIndex piece, PeerId from) override;
+
+  // Current global trust of a peer (0 for strangers). Exposed for tests.
+  double trust(PeerId id) const;
+
+ protected:
+  void compute_unchokes(PeerId p, ChokeState& st) override;
+
+ private:
+  void recompute_trust();
+  void trust_loop();
+
+  // sat_[i][j]: satisfactory interactions i observed with j (pieces
+  // received). Colluders inject false praise here.
+  std::unordered_map<PeerId, std::unordered_map<PeerId, double>> sat_;
+  std::unordered_map<PeerId, double> global_trust_;
+  double trust_period_ = 10.0;
+  int power_iterations_ = 12;
+};
+
+class DandelionProtocol : public bt::Protocol {
+ public:
+  std::string name() const override { return "Dandelion"; }
+  util::ByteCount default_piece_bytes() const override {
+    return 256 * util::kKiB;
+  }
+
+  void on_peer_join(PeerId id) override;
+  void on_peer_depart(PeerId id) override;
+
+  double credit(PeerId id) const;
+  // Initial credit granted to every (apparent) newcomer — the whitewash
+  // attack surface.
+  static constexpr double kInitialCredit = 4.0;
+
+ private:
+  struct State {
+    double credit = kInitialCredit;
+    std::size_t active_uploads = 0;
+  };
+  State& state(PeerId id) { return states_[id]; }
+  void pump(PeerId id);
+  void tick(PeerId id);
+
+  std::unordered_map<PeerId, State> states_;
+  std::size_t upload_slots_ = 4;
+};
+
+}  // namespace tc::protocols

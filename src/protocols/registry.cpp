@@ -1,0 +1,37 @@
+#include "src/protocols/registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/protocols/choking.h"
+#include "src/protocols/fairtorrent.h"
+#include "src/protocols/indirect.h"
+#include "src/protocols/tchain.h"
+
+namespace tc::protocols {
+
+std::unique_ptr<bt::Protocol> make_protocol(const std::string& name) {
+  std::string n = name;
+  std::transform(n.begin(), n.end(), n.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (n == "bittorrent" || n == "bt") return std::make_unique<BitTorrentProtocol>();
+  if (n == "propshare") return std::make_unique<PropShareProtocol>();
+  if (n == "fairtorrent") return std::make_unique<FairTorrentProtocol>();
+  if (n == "tchain" || n == "t-chain") return std::make_unique<TChainProtocol>();
+  if (n == "randombt" || n == "random")
+    return std::make_unique<RandomBitTorrentProtocol>();
+  if (n == "eigentrust") return std::make_unique<EigenTrustProtocol>();
+  if (n == "dandelion") return std::make_unique<DandelionProtocol>();
+  throw std::invalid_argument("unknown protocol: " + name);
+}
+
+std::vector<std::string> paper_protocols() {
+  return {"bittorrent", "propshare", "fairtorrent", "tchain"};
+}
+
+std::vector<std::string> table2_protocols() {
+  return {"bittorrent", "propshare", "fairtorrent", "tchain", "eigentrust",
+          "dandelion"};
+}
+
+}  // namespace tc::protocols

@@ -1,0 +1,25 @@
+// Factory for protocols by name — the bench harness and examples use this
+// to sweep { BitTorrent, PropShare, FairTorrent, T-Chain, RandomBT }.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bt/protocol.h"
+
+namespace tc::protocols {
+
+// Names: "bittorrent", "propshare", "fairtorrent", "tchain", "randombt",
+// "eigentrust", "dandelion"
+// (case-insensitive). Throws std::invalid_argument for unknown names.
+std::unique_ptr<bt::Protocol> make_protocol(const std::string& name);
+
+// The paper's four headline protocols, in figure-legend order.
+std::vector<std::string> paper_protocols();
+
+// Table II's full cast: the four direct-reciprocity schemes plus the two
+// indirect ones (EigenTrust, Dandelion).
+std::vector<std::string> table2_protocols();
+
+}  // namespace tc::protocols

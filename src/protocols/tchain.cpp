@@ -1,0 +1,532 @@
+#include "src/protocols/tchain.h"
+
+#include <algorithm>
+
+#include "src/core/policy.h"
+#include "src/util/logging.h"
+
+namespace tc::protocols {
+
+using core::Transaction;
+using core::TxState;
+
+TChainProtocol::PeerState& TChainProtocol::state(PeerId id) {
+  auto it = peers_.find(id);
+  if (it == peers_.end()) {
+    it = peers_.emplace(id, PeerState(swarm_->config().pending_cap)).first;
+  }
+  return it->second;
+}
+
+bool TChainProtocol::is_seeder(PeerId id) const {
+  const bt::Peer* p = swarm_->peer(id);
+  return p != nullptr && p->seeder;
+}
+
+int TChainProtocol::pending_of(PeerId donor, PeerId neighbor) const {
+  const auto it = peers_.find(donor);
+  return it == peers_.end() ? 0 : it->second.pending.pending(neighbor);
+}
+
+void TChainProtocol::on_run_start() {
+  // Chain census sampling for Figures 10/11.
+  swarm_->simulator().schedule_in(census_period_, [this] { census_loop(); });
+}
+
+void TChainProtocol::on_peer_join(PeerId id) {
+  state(id);  // materialize
+  if (is_seeder(id)) {
+    seeder_tick();
+    return;
+  }
+  // Per-leecher opportunistic-seeding / stall-recovery loop (§II-D3).
+  swarm_->simulator().schedule_in(swarm_->config().rechoke_period,
+                                  [this, id] { opp_loop(id); });
+}
+
+void TChainProtocol::on_peer_depart(PeerId id) {
+  // Settle every transaction the departing peer participates in (§II-B4).
+  for (const TxId txid : txs_.involving(id)) {
+    Transaction* tx = txs_.get(txid);
+    if (tx == nullptr) continue;
+
+    if (tx->donor == id) {
+      if (tx->state == TxState::kAwaitKey && tx->payee != net::kNoPeer &&
+          tx->payee != id && swarm_->is_active(tx->payee)) {
+        // Donor hands the key to the payee on its way out; the payee will
+        // release it upon reciprocation.
+        tx->key_escrowed = true;
+        ++stats_.keys_escrowed;
+      } else if (tx->state == TxState::kAwaitKey) {
+        kill_tx(txid, /*terminate_chain=*/true);
+      }
+      continue;
+    }
+
+    if (tx->requestor == id) {
+      // Requestor left before reciprocating / decrypting: obligation dies.
+      if (tx->state == TxState::kAwaitKey) kill_tx(txid, true);
+      continue;
+    }
+
+    if (tx->payee == id && tx->state == TxState::kAwaitKey) {
+      // Payee departed before reciprocation: donor designates another
+      // (deferred a control-latency so the overlay settles first).
+      const TxId fix = txid;
+      swarm_->send_control([this, fix] { continue_chain(fix); });
+    }
+  }
+  peers_.erase(id);
+}
+
+void TChainProtocol::census_loop() {
+  chains_.sample(swarm_->simulator().now());
+  swarm_->simulator().schedule_in(census_period_, [this] { census_loop(); });
+}
+
+void TChainProtocol::opp_loop(PeerId id) {
+  if (!swarm_->is_active(id)) return;
+  opportunistic_tick(id);
+  swarm_->simulator().schedule_in(swarm_->config().rechoke_period,
+                                  [this, id] { opp_loop(id); });
+}
+
+void TChainProtocol::prune_banned_neighbors(PeerId id) {
+  // §II-D2: flow control "helps participants identify uncooperative or
+  // malfunctioning neighbors". A neighbor at the pending cap is not
+  // serviceable in either direction; once the neighbor table is nearly
+  // full, drop such neighbors so their slots go to serviceable peers
+  // (otherwise large-view free-riders squat on the seeder's connections).
+  bt::Peer* p = swarm_->peer(id);
+  if (p == nullptr || !p->active) return;
+  if (p->neighbors.size() * 5 < swarm_->config().max_neighbors * 4) return;
+  PeerState& st = state(id);
+  std::vector<PeerId> drop;
+  for (PeerId n : p->neighbors) {
+    if (!st.pending.eligible(n)) drop.push_back(n);
+  }
+  for (PeerId n : drop) swarm_->disconnect(id, n);
+}
+
+void TChainProtocol::seeder_tick() {
+  const PeerId s = swarm_->seeder_id();
+  if (!swarm_->is_active(s)) return;
+  prune_banned_neighbors(s);
+  PeerState& ss = state(s);
+  // Feed the swarm as many chains as the seeder's slot budget allows
+  // (footnote 3: "the seeder will likely initiate as many chains as
+  // possible given its upload capacity").
+  std::size_t guard = 0;
+  while (ss.active_uploads < swarm_->config().seeder_chain_slots &&
+         guard++ < 2 * swarm_->config().seeder_chain_slots) {
+    if (!initiate_chain(s, /*by_seeder=*/true)) break;
+  }
+  swarm_->simulator().schedule_in(2.0, [this] { seeder_tick(); });
+}
+
+void TChainProtocol::opportunistic_tick(PeerId id) {
+  const bt::Peer* p = swarm_->peer(id);
+  if (p == nullptr || !p->active || p->freerider || p->seeder) return;
+  prune_banned_neighbors(id);
+  PeerState& st = state(id);
+  if (!core::may_opportunistically_seed(p->have.count(), st.obligations))
+    return;
+  if (st.active_uploads > 0) return;  // upload capacity already in use
+  if (!swarm_->config().opportunistic_seeding) return;
+  initiate_chain(id, /*by_seeder=*/false);
+}
+
+bool TChainProtocol::initiate_chain(PeerId donor, bool by_seeder) {
+  const bt::Peer* d = swarm_->peer(donor);
+  if (d == nullptr || !d->active) return false;
+  PeerState& ds = state(donor);
+
+  // Requestor: uniform among neighbors that want something from the donor
+  // and are not flow-control banned.
+  PeerId requestor = net::kNoPeer;
+  std::size_t count = 0;
+  for (PeerId n : d->neighbors) {
+    const bt::Peer* np = swarm_->peer(n);
+    if (np == nullptr || !np->active || np->seeder) continue;
+    if (!ds.pending.eligible(n)) continue;
+    if (!swarm_->needs_from(n, donor)) continue;
+    ++count;
+    if (swarm_->rng().index(count) == 0) requestor = n;
+  }
+  if (requestor == net::kNoPeer) return false;
+
+  const ChainId chain =
+      chains_.create(donor, by_seeder, swarm_->simulator().now());
+  if (!start_tx(donor, requestor, /*prev=*/0, chain)) {
+    chains_.terminate(chain, swarm_->simulator().now());
+    return false;
+  }
+  return true;
+}
+
+PeerId TChainProtocol::choose_payee(PeerId donor, PeerId requestor,
+                                    PieceIndex piece) {
+  const bt::Peer* d = swarm_->peer(donor);
+  const bt::Peer* r = swarm_->peer(requestor);
+  if (d == nullptr || r == nullptr) return net::kNoPeer;
+  PeerState& ds = state(donor);
+
+  core::PayeeQuery q;
+  q.donor = donor;
+  q.requestor = requestor;
+  q.donor_neighbors = d->neighbors;
+  q.donor_is_seeder = d->seeder;
+  q.allow_direct = swarm_->config().allow_direct_reciprocity;
+  q.donor_needs_requestor = swarm_->needs_from(donor, requestor);
+  q.payee_ok = [&](PeerId n) {
+    const bt::Peer* np = swarm_->peer(n);
+    if (np == nullptr || !np->active || np->seeder) return false;
+    if (!ds.pending.eligible(n)) return false;  // adaptive receiver selection
+    // Needs >= 1 of the requestor's pieces, *including* the piece about to
+    // be uploaded (§II-B2).
+    if (swarm_->needs_from(n, requestor)) return true;
+    return piece != net::kNoPiece && !np->requested.get(piece);
+  };
+
+  const PeerId p = core::select_payee(q, swarm_->rng());
+  if (p == donor) {
+    ++stats_.direct_payees;
+  } else if (p != net::kNoPeer) {
+    ++stats_.indirect_payees;
+  }
+  return p;
+}
+
+bool TChainProtocol::start_tx(PeerId donor, PeerId requestor, TxId prev,
+                              ChainId chain, PieceIndex forced_piece) {
+  bt::Peer* d = swarm_->peer(donor);
+  bt::Peer* r = swarm_->peer(requestor);
+  if (d == nullptr || r == nullptr || !d->active || !r->active) return false;
+
+  // Piece tentatively selected by the requestor via LRF (§II-B1).
+  PieceIndex piece = forced_piece;
+  if (piece == net::kNoPiece) {
+    const auto sel = swarm_->select_lrf(requestor, donor);
+    if (!sel) return false;
+    piece = *sel;
+  }
+
+  PeerId payee = choose_payee(donor, requestor, piece);
+
+  // Newcomer bootstrapping (§II-D1): requestor has no completed piece, so
+  // the donor picks a piece both requestor and payee need; the requestor
+  // reciprocates by forwarding it.
+  if (payee != net::kNoPeer && payee != donor && forced_piece == net::kNoPiece &&
+      r->have.empty()) {
+    const bt::Peer* pp = swarm_->peer(payee);
+    if (pp != nullptr) {
+      const auto boot = core::select_bootstrap_piece(
+          d->have, r->requested, pp->requested, swarm_->rng());
+      if (boot) piece = *boot;
+    }
+  }
+
+  // Terminal uploads are altruistic gifts. Adaptive receiver selection
+  // (§II-D2) says a neighbor with unreciprocated pending pieces "will be
+  // neither selected to receive pieces nor designated as payee" — so a
+  // requestor that still owes this donor gets no unencrypted piece, and
+  // gifts to strangers are budgeted (this is what keeps endgame chain
+  // termination from feeding free-riders). The budget is waived in the
+  // tiny-swarm case the paper calls out (§II-B3: a lone leecher simply
+  // gets the unencrypted file) and for neighbors that have reciprocated
+  // to this donor before.
+  if (payee == net::kNoPeer) {
+    PeerState& ds = state(donor);
+    if (ds.pending.pending(requestor) > 0) return false;
+    std::size_t other_leechers = 0;
+    for (PeerId n : d->neighbors) {
+      const bt::Peer* np = swarm_->peer(n);
+      if (np != nullptr && np->active && !np->seeder && n != requestor)
+        ++other_leechers;
+    }
+    const bool sole_neighbor = other_leechers == 0;
+    // Newcomers never need gifts — §II-D1 bootstraps them with encrypted
+    // pieces — so an unproven stranger asking for unencrypted pieces is
+    // indistinguishable from a whitewashed free-rider and gets none.
+    if (!sole_neighbor && !proven_.count(requestor)) return false;
+    ++ds.gifts[requestor];
+  }
+
+  Transaction& tx = txs_.create(chain, donor, requestor, payee, piece, prev,
+                                swarm_->simulator().now());
+  chains_.extend(chain);
+
+  PeerState& ds = state(donor);
+  ++ds.active_uploads;
+  if (tx.encrypted()) {
+    ds.pending.add(requestor);
+    ++stats_.encrypted_uploads;
+  } else {
+    ++stats_.terminal_uploads;
+  }
+  if (prev != 0) {
+    if (Transaction* p = txs_.get(prev)) p->next = tx.id;
+  }
+
+  const TxId txid = tx.id;
+  swarm_->start_upload(donor, requestor, piece, /*weight=*/1.0,
+                       [this, txid](PeerId, PeerId, PieceIndex, bool ok) {
+                         on_upload_done(txid, ok);
+                       });
+  return true;
+}
+
+void TChainProtocol::on_upload_done(TxId txid, bool ok) {
+  Transaction* tx = txs_.get(txid);
+  if (tx == nullptr) return;
+
+  if (auto it = peers_.find(tx->donor); it != peers_.end()) {
+    if (it->second.active_uploads > 0) --it->second.active_uploads;
+    // Idle-triggered opportunistic seeding (§II-D3): an uploader whose pipe
+    // just drained re-seeds promptly instead of waiting for the next tick.
+    if (it->second.active_uploads == 0) {
+      const PeerId donor = tx->donor;
+      swarm_->simulator().schedule_in(0.2, [this, donor] {
+        if (swarm_->is_active(donor)) opportunistic_tick(donor);
+      });
+    }
+  }
+
+  if (!ok) {
+    // One endpoint departed mid-transfer. A chain-head abort kills the
+    // chain; a mid-chain abort is either revived by payee reassignment on
+    // `prev` below, or `prev` itself was killed by the departure handler.
+    const TxId prev = tx->prev;
+    kill_tx(txid, /*terminate_chain=*/prev == 0);
+    if (prev != 0) {
+      // This upload was the reciprocation of `prev`; give the previous
+      // donor a chance to reassign the payee (§II-B4).
+      swarm_->send_control([this, prev] { continue_chain(prev); });
+    }
+    return;
+  }
+
+  if (tx->encrypted()) {
+    handle_encrypted_delivery(*tx);
+  } else {
+    // Terminal (unencrypted) upload: immediate grant, no obligation,
+    // chain ends (Fig 1c). It still pays for `prev` if it was owed.
+    const TxId prev = tx->prev;
+    const ChainId chain = tx->chain;
+    swarm_->grant_piece(tx->requestor, tx->piece, tx->donor);
+    chains_.terminate(chain, swarm_->simulator().now());
+    if (prev != 0) {
+      swarm_->send_control(
+          [this, prev] { process_receipt(prev, /*false_receipt=*/false); });
+    }
+    txs_.erase(txid);
+  }
+}
+
+void TChainProtocol::handle_encrypted_delivery(Transaction& tx) {
+  tx.state = TxState::kAwaitKey;
+  ++state(tx.requestor).obligations;
+  if (swarm_->metrics().tracing(tx.requestor)) {
+    swarm_->metrics().trace_encrypted(tx.requestor, tx.piece,
+                                      swarm_->simulator().now());
+  }
+
+  // This delivery is also the reciprocation payment for tx.prev: the
+  // requestor (payee of prev) reports the receipt to prev's donor.
+  if (tx.prev != 0) {
+    const TxId prev = tx.prev;
+    swarm_->send_control(
+        [this, prev] { process_receipt(prev, /*false_receipt=*/false); });
+  }
+
+  const bt::Peer* r = swarm_->peer(tx.requestor);
+  if (r == nullptr) return;
+
+  if (r->freerider) {
+    const bt::Peer* payee = swarm_->peer(tx.payee);
+    const bool collusion = swarm_->config().freerider_collude && r->colluder &&
+                           payee != nullptr && payee->colluder;
+    if (collusion) {
+      // §III-A4 / §IV-D: the colluding payee lies to the donor, claiming
+      // reciprocation happened; the donor releases the key "for free".
+      const TxId id = tx.id;
+      ++stats_.false_receipts;
+      swarm_->send_control(
+          [this, id] { process_receipt(id, /*false_receipt=*/true); });
+    } else {
+      // The free-rider banks the useless ciphertext and never reciprocates;
+      // the donor's pending count against it stays up (the §II-D2 ban), and
+      // the chain dies. Crucially, the free-rider keeps advertising the
+      // piece as missing — it cannot decrypt it — so it remains a valid
+      // payee target for other donors (whose chains will in turn die here,
+      // capped by their own pending counters).
+      chains_.terminate(tx.chain, swarm_->simulator().now());
+      if (bt::Peer* fr = swarm_->peer(tx.requestor);
+          fr != nullptr && !fr->have.get(tx.piece)) {
+        fr->requested.clear(tx.piece);
+      }
+      if (auto it = peers_.find(tx.requestor); it != peers_.end()) {
+        if (it->second.obligations > 0) --it->second.obligations;
+      }
+      txs_.erase(tx.id);  // pending at the donor intentionally NOT resolved
+    }
+    return;
+  }
+
+  // Compliant requestor: immediately continue the chain by reciprocating.
+  continue_chain(tx.id);
+}
+
+void TChainProtocol::process_receipt(TxId prev_id, bool false_receipt) {
+  Transaction* prev = txs_.get(prev_id);
+  if (prev == nullptr || prev->state != TxState::kAwaitKey) return;
+  ++stats_.receipts;
+
+  // Resolve the donor's flow-control pending slot for this requestor, and
+  // remember it as a proven reciprocator (eligible for endgame gifts).
+  if (auto it = peers_.find(prev->donor); it != peers_.end()) {
+    it->second.pending.resolve(prev->requestor);
+  }
+  // A receipt marks the requestor as a demonstrated reciprocator. A false
+  // (collusion) receipt is indistinguishable, so it "proves" the colluder
+  // too — the attack's whole point (§III-A4).
+  proven_.insert(prev->requestor);
+
+  const PeerId releaser = prev->key_escrowed ? prev->payee : prev->donor;
+  if (!prev->key_escrowed && !swarm_->is_active(prev->donor)) {
+    // Donor gone without escrow: key lost; the requestor re-fetches the
+    // piece elsewhere.
+    kill_tx(prev_id, /*terminate_chain=*/false);
+    return;
+  }
+  (void)false_receipt;
+  release_key(*prev, releaser);
+}
+
+void TChainProtocol::release_key(Transaction& tx, PeerId releaser) {
+  (void)releaser;  // latency identical either way in the simulator
+  const TxId txid = tx.id;
+  const PeerId requestor = tx.requestor;
+  const PeerId donor = tx.donor;
+  const PieceIndex piece = tx.piece;
+  ++stats_.keys_released;
+  if (auto it = peers_.find(requestor); it != peers_.end()) {
+    if (it->second.obligations > 0) --it->second.obligations;
+  }
+  tx.state = TxState::kCompleted;
+  txs_.erase(txid);
+  swarm_->send_control([this, requestor, piece, donor] {
+    if (swarm_->is_active(requestor)) {
+      swarm_->grant_piece(requestor, piece, donor);
+    }
+  });
+}
+
+void TChainProtocol::continue_chain(TxId txid) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    Transaction* tx = txs_.get(txid);
+    if (tx == nullptr || tx->state != TxState::kAwaitKey) return;
+    if (tx->next != 0 && txs_.get(tx->next) != nullptr) return;  // in flight
+    if (!swarm_->is_active(tx->requestor)) {
+      kill_tx(txid, true);
+      return;
+    }
+    // A free-riding requestor will never reciprocate, whatever payee the
+    // donor designates; the donor's pending count against it stays up and
+    // the key is never released. (The chain was already terminated when
+    // the free-rider swallowed the delivery.)
+    if (const bt::Peer* r = swarm_->peer(tx->requestor);
+        r != nullptr && r->freerider) {
+      return;
+    }
+    if (!tx->key_escrowed && !swarm_->is_active(tx->donor)) {
+      kill_tx(txid, true);
+      return;
+    }
+
+    if (tx->payee != net::kNoPeer && swarm_->is_active(tx->payee) &&
+        try_start_reciprocation(*tx)) {
+      return;
+    }
+
+    // Payee unusable: the donor designates a replacement (§II-B4). An
+    // escrowed key, however, dies with its payee — the departed donor is
+    // not around to pick another (§II-B4's key handoff is best-effort).
+    if (tx->key_escrowed) {
+      kill_tx(txid, true);
+      return;
+    }
+    const PeerId new_payee = choose_payee(tx->donor, tx->requestor, tx->piece);
+    if (new_payee == net::kNoPeer || new_payee == tx->payee) {
+      settle_free(*tx);
+      return;
+    }
+    ++stats_.payee_reassignments;
+    txs_.set_payee(txid, new_payee);
+  }
+  if (Transaction* tx = txs_.get(txid);
+      tx != nullptr && tx->state == TxState::kAwaitKey) {
+    settle_free(*tx);
+  }
+}
+
+bool TChainProtocol::try_start_reciprocation(Transaction& tx) {
+  const PeerId r = tx.requestor;  // becomes the next donor
+  const PeerId p = tx.payee;      // becomes the next requestor
+  if (p == r) return false;
+
+  // Direct-reciprocity special case: payee == previous donor; the piece is
+  // whatever the donor (now requestor of the new tx) needs via LRF.
+  const bt::Peer* rp = swarm_->peer(r);
+  const bt::Peer* pp = swarm_->peer(p);
+  if (rp == nullptr || pp == nullptr) return false;
+
+  PieceIndex forced = net::kNoPiece;
+  if (!swarm_->select_lrf(p, r).has_value()) {
+    // The payee needs nothing among r's completed pieces. Newcomer path:
+    // forward the encrypted piece just received (§II-D1).
+    if (!pp->requested.get(tx.piece)) {
+      forced = tx.piece;
+      ++stats_.bootstrap_forwards;
+    } else {
+      return false;
+    }
+  }
+  return start_tx(r, p, tx.id, tx.chain, forced);
+}
+
+void TChainProtocol::settle_free(Transaction& tx) {
+  // No qualified payee exists anywhere: the exchange degenerates to an
+  // altruistic upload — the donor releases the key and the chain ends
+  // (the same situation that makes termination uploads unencrypted).
+  ++stats_.free_key_settlements;
+  if (auto it = peers_.find(tx.donor); it != peers_.end()) {
+    it->second.pending.resolve(tx.requestor);
+  }
+  chains_.terminate(tx.chain, swarm_->simulator().now());
+  release_key(tx, tx.donor);
+}
+
+void TChainProtocol::kill_tx(TxId txid, bool terminate_chain) {
+  Transaction* tx = txs_.get(txid);
+  if (tx == nullptr) return;
+  if (tx->encrypted()) {
+    if (auto it = peers_.find(tx->donor); it != peers_.end()) {
+      it->second.pending.resolve(tx->requestor);
+    }
+  }
+  if (tx->state == TxState::kAwaitKey) {
+    if (auto it = peers_.find(tx->requestor); it != peers_.end()) {
+      if (it->second.obligations > 0) --it->second.obligations;
+    }
+    // The ciphertext is now useless; allow re-fetching the piece.
+    if (bt::Peer* r = swarm_->peer(tx->requestor);
+        r != nullptr && !r->have.get(tx->piece)) {
+      r->requested.clear(tx->piece);
+    }
+  }
+  if (terminate_chain) chains_.terminate(tx->chain, swarm_->simulator().now());
+  txs_.erase(txid);
+}
+
+}  // namespace tc::protocols

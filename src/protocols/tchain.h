@@ -1,0 +1,122 @@
+// T-Chain incentive protocol bound to the swarm simulator (paper §II).
+//
+// Chain lifecycle in the simulator:
+//   * the seeder keeps `seeder_chain_slots` chains fed (initiation, Fig 1a);
+//   * each delivered encrypted piece obliges its requestor to reciprocate
+//     to the designated payee — that upload is the next transaction
+//     (continuation, Fig 1b);
+//   * the payee's receipt releases the previous donor's key (almost-fair
+//     exchange);
+//   * a donor that finds no qualified payee uploads unencrypted and the
+//     chain terminates (Fig 1c);
+//   * newcomer bootstrapping picks a piece requestor AND payee need
+//     (§II-D1), flow control bans neighbors with >= k pending pieces
+//     (§II-D2), idle leechers opportunistically seed new chains (§II-D3);
+//   * free-riders simply never reciprocate; colluders send false receipts
+//     for each other (§III-A4).
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/bt/protocol.h"
+#include "src/bt/swarm.h"
+#include "src/core/chain_registry.h"
+#include "src/core/pending.h"
+#include "src/core/transaction.h"
+
+namespace tc::protocols {
+
+using bt::PeerId;
+using bt::PieceIndex;
+using core::ChainId;
+using core::TxId;
+
+class TChainProtocol : public bt::Protocol {
+ public:
+  std::string name() const override { return "T-Chain"; }
+  util::ByteCount default_piece_bytes() const override {
+    return 64 * util::kKiB;
+  }
+
+  void on_run_start() override;
+  void on_peer_join(PeerId id) override;
+  void on_peer_depart(PeerId id) override;
+
+  // --- Introspection for benches/tests -------------------------------------
+  const core::ChainRegistry& chains() const { return chains_; }
+  core::ChainRegistry& chains() { return chains_; }
+  const core::TransactionTable& transactions() const { return txs_; }
+
+  struct Stats {
+    std::uint64_t encrypted_uploads = 0;
+    std::uint64_t terminal_uploads = 0;   // unencrypted (chain termination)
+    std::uint64_t receipts = 0;
+    std::uint64_t false_receipts = 0;     // collusion attack
+    std::uint64_t keys_released = 0;
+    std::uint64_t keys_escrowed = 0;      // donor departed, payee held key
+    std::uint64_t bootstrap_forwards = 0; // newcomer forwarded its pending piece
+    std::uint64_t payee_reassignments = 0;
+    std::uint64_t free_key_settlements = 0;  // no payee found: key gratis
+    std::uint64_t direct_payees = 0;
+    std::uint64_t indirect_payees = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  int pending_of(PeerId donor, PeerId neighbor) const;
+
+ private:
+  struct PeerState {
+    core::PendingTracker pending;
+    std::size_t obligations = 0;     // encrypted pieces not yet reciprocated
+    std::size_t active_uploads = 0;  // flows this peer is sourcing
+    // Terminal (unencrypted) gifts handed to each neighbor.
+    std::unordered_map<PeerId, int> gifts;
+    explicit PeerState(int cap) : pending(cap) {}
+  };
+
+  PeerState& state(PeerId id);
+  bool is_seeder(PeerId id) const;
+
+  // Chain drivers.
+  void census_loop();
+  void opp_loop(PeerId id);
+  void prune_banned_neighbors(PeerId id);
+  void seeder_tick();
+  void opportunistic_tick(PeerId id);
+  bool initiate_chain(PeerId donor, bool by_seeder);
+
+  // Starts the transaction `donor -> requestor` (reciprocating `prev` when
+  // prev != 0). `forced_piece` overrides LRF (bootstrap forward).
+  bool start_tx(PeerId donor, PeerId requestor, TxId prev, ChainId chain,
+                PieceIndex forced_piece = net::kNoPiece);
+
+  // Payee choice for an upload donor -> requestor of `piece`.
+  PeerId choose_payee(PeerId donor, PeerId requestor, PieceIndex piece);
+
+  void on_upload_done(TxId txid, bool ok);
+  void handle_encrypted_delivery(core::Transaction& tx);
+  void process_receipt(TxId prev_id, bool false_receipt);
+
+  // Ensures tx (AwaitKey) eventually gets reciprocated: (re)starts the
+  // reciprocation upload, reassigning payees as needed; settles with a
+  // gratis key when no payee exists.
+  void continue_chain(TxId txid);
+  bool try_start_reciprocation(core::Transaction& tx);
+  void settle_free(core::Transaction& tx);
+  void kill_tx(TxId txid, bool terminate_chain);
+  void release_key(core::Transaction& tx, PeerId releaser);
+
+  core::TransactionTable txs_;
+  core::ChainRegistry chains_;
+  std::unordered_map<PeerId, PeerState> peers_;
+  // Identities that have been observed reciprocating at least once.
+  // Conceptually this is per-donor local history plus what a peer observes
+  // as a payee; we pool it for simulation efficiency — the distinction
+  // only affects how fast gift eligibility is learned, not who earns it.
+  std::unordered_set<PeerId> proven_;
+  Stats stats_;
+  double census_period_ = 5.0;
+};
+
+}  // namespace tc::protocols

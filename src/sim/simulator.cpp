@@ -1,0 +1,57 @@
+#include "src/sim/simulator.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace tc::sim {
+
+Simulator::EventId Simulator::schedule_at(SimTime t, std::function<void()> fn) {
+  if (t < now_) t = now_;  // never schedule in the past
+  const std::uint64_t id = next_id_++;
+  queue_.push(Entry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return EventId{id};
+}
+
+Simulator::EventId Simulator::schedule_in(SimTime delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  // The heap entry stays behind as a tombstone and is skipped on pop.
+  return callbacks_.erase(id.id) > 0;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const Entry e = queue_.top();
+    auto it = callbacks_.find(e.id);
+    if (it == callbacks_.end()) {
+      queue_.pop();  // cancelled
+      continue;
+    }
+    assert(e.t >= now_);
+    now_ = e.t;
+    // Move the callback out before erasing: it may schedule/cancel events.
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    queue_.pop();
+    ++processed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run(SimTime until) {
+  while (!queue_.empty()) {
+    // Skip tombstones to see the real next event time.
+    while (!queue_.empty() && !callbacks_.count(queue_.top().id)) queue_.pop();
+    if (queue_.empty()) break;
+    if (queue_.top().t > until) break;
+    step();
+  }
+}
+
+}  // namespace tc::sim

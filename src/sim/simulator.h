@@ -1,0 +1,69 @@
+// Discrete-event simulation engine.
+//
+// Single-threaded, deterministic: events at equal timestamps fire in
+// scheduling order (stable sequence numbers), so a run is a pure function
+// of its seed. Cancellation is O(log n) amortized via tombstoning.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace tc::sim {
+
+using util::SimTime;
+
+class Simulator {
+ public:
+  struct EventId {
+    std::uint64_t id = 0;
+    bool valid() const { return id != 0; }
+    bool operator==(const EventId&) const = default;
+  };
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` at absolute simulated time `t` (>= now).
+  EventId schedule_at(SimTime t, std::function<void()> fn);
+
+  // Schedules `fn` after `delay` simulated seconds (clamped to >= 0).
+  EventId schedule_in(SimTime delay, std::function<void()> fn);
+
+  // Returns true if the event existed and was cancelled before firing.
+  bool cancel(EventId id);
+
+  // Runs until the queue drains or simulated time would exceed `until`.
+  // Events scheduled exactly at `until` still run.
+  void run(SimTime until = std::numeric_limits<SimTime>::infinity());
+
+  // Processes a single event; returns false if the queue is empty.
+  bool step();
+
+  std::size_t pending_events() const { return callbacks_.size(); }
+  std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Entry {
+    SimTime t;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    std::uint64_t id;
+    bool operator>(const Entry& o) const {
+      if (t != o.t) return t > o.t;
+      return seq > o.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_map<std::uint64_t, std::function<void()>> callbacks_;
+};
+
+}  // namespace tc::sim

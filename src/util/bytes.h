@@ -1,0 +1,66 @@
+// Byte-buffer codecs: big-endian primitive encoding used by the wire
+// protocol (src/net/message.*) and the TCP transport. Deliberately small
+// and exception-checked so malformed frames cannot read out of bounds.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tc::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  // Length-prefixed (u32) blob / string.
+  void blob(const Bytes& b);
+  void str(std::string_view s);
+  // Raw bytes, no length prefix.
+  void raw(const std::uint8_t* data, std::size_t len);
+
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+// Throws std::out_of_range on truncated input.
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& buf) : buf_(buf.data()), len_(buf.size()) {}
+  ByteReader(const std::uint8_t* data, std::size_t len) : buf_(data), len_(len) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  Bytes blob();
+  std::string str();
+
+  std::size_t remaining() const { return len_ - pos_; }
+  bool done() const { return pos_ == len_; }
+
+ private:
+  void need(std::size_t n) const;
+  const std::uint8_t* buf_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+};
+
+// Lowercase hex encoding (debugging, key fingerprints).
+std::string to_hex(const Bytes& b);
+std::string to_hex(const std::uint8_t* data, std::size_t len);
+Bytes from_hex(std::string_view hex);  // throws std::invalid_argument
+
+}  // namespace tc::util

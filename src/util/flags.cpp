@@ -1,0 +1,56 @@
+#include "src/util/flags.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace tc::util {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      values_[name.substr(0, eq)] = name.substr(eq + 1);
+      continue;
+    }
+    // "--name value" unless the next token is another flag (then boolean).
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[name] = argv[++i];
+    } else {
+      values_[name] = "true";
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::get_double(const std::string& name, double def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::get_bool(const std::string& name, bool def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+}  // namespace tc::util

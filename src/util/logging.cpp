@@ -1,0 +1,27 @@
+#include "src/util/logging.h"
+
+namespace tc::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+}
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void log_line(LogLevel level, const std::string& msg) {
+  std::cerr << "[" << log_level_name(level) << "] " << msg << "\n";
+}
+
+}  // namespace tc::util

@@ -1,0 +1,35 @@
+// Lightweight leveled logging. Simulation-rate hot paths must not pay for
+// disabled log statements, so the macro checks the level before evaluating
+// the stream expression.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace tc::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+const char* log_level_name(LogLevel level);
+
+// Internal: emit one formatted line to stderr.
+void log_line(LogLevel level, const std::string& msg);
+
+}  // namespace tc::util
+
+#define TC_LOG(level, expr)                                             \
+  do {                                                                  \
+    if (static_cast<int>(level) >= static_cast<int>(::tc::util::log_level())) { \
+      std::ostringstream tc_log_oss;                                    \
+      tc_log_oss << expr;                                               \
+      ::tc::util::log_line(level, tc_log_oss.str());                    \
+    }                                                                   \
+  } while (0)
+
+#define TC_DEBUG(expr) TC_LOG(::tc::util::LogLevel::kDebug, expr)
+#define TC_INFO(expr) TC_LOG(::tc::util::LogLevel::kInfo, expr)
+#define TC_WARN(expr) TC_LOG(::tc::util::LogLevel::kWarn, expr)
+#define TC_ERROR(expr) TC_LOG(::tc::util::LogLevel::kError, expr)

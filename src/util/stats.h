@@ -1,0 +1,86 @@
+// Streaming statistics, confidence intervals, CDFs and histograms used by
+// the evaluation harness to report means with 95% confidence intervals the
+// way the paper's figures do.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tc::util {
+
+// Welford's online algorithm: numerically stable running mean/variance.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  // Half-width of the 95% confidence interval of the mean, using a
+  // Student-t quantile (exactly what the paper's error bars show).
+  double ci95_half_width() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Two-sided 97.5% Student-t quantile for the given degrees of freedom.
+// Table-based for small df, asymptotic 1.96 beyond.
+double t_quantile_975(std::size_t df);
+
+// Empirical distribution of a batch of samples.
+class Distribution {
+ public:
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  // p in [0,1]; linear interpolation between order statistics.
+  double percentile(double p) const;
+  double median() const { return percentile(0.5); }
+
+  // Evaluate the empirical CDF at x: fraction of samples <= x.
+  double cdf_at(double x) const;
+
+  // (value, cumulative fraction) pairs at `points` evenly spaced sample
+  // quantiles — the series the paper's CDF figures plot.
+  std::vector<std::pair<double, double>> cdf_points(std::size_t points) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+// edge bins so no data is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace tc::util

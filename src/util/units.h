@@ -1,0 +1,24 @@
+// Simulation units and conversions.
+//
+// Time is simulated seconds (double). Bandwidth follows the paper's
+// convention: rates are quoted in Kbps (kilobits/second, 1000 bits) and
+// data sizes in bytes / KB / MB with 1 KB = 1024 bytes.
+#pragma once
+
+#include <cstdint>
+
+namespace tc::util {
+
+using SimTime = double;   // seconds
+using ByteCount = std::int64_t;
+
+constexpr ByteCount kKiB = 1024;
+constexpr ByteCount kMiB = 1024 * kKiB;
+
+// Kbps -> bytes per second (1 Kbps = 1000 bits/s = 125 B/s).
+constexpr double kbps_to_bytes_per_sec(double kbps) { return kbps * 125.0; }
+
+// bytes/s -> Kbps.
+constexpr double bytes_per_sec_to_kbps(double bps) { return bps / 125.0; }
+
+}  // namespace tc::util

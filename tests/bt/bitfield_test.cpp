@@ -1,0 +1,105 @@
+#include "src/bt/bitfield.h"
+
+#include <gtest/gtest.h>
+
+namespace tc::bt {
+namespace {
+
+TEST(Bitfield, SetGetClearCount) {
+  Bitfield bf(100);
+  EXPECT_EQ(bf.size(), 100u);
+  EXPECT_TRUE(bf.empty());
+  bf.set(0);
+  bf.set(63);
+  bf.set(64);
+  bf.set(99);
+  EXPECT_EQ(bf.count(), 4u);
+  EXPECT_TRUE(bf.get(63));
+  EXPECT_TRUE(bf.get(64));
+  EXPECT_FALSE(bf.get(1));
+  bf.clear(63);
+  EXPECT_FALSE(bf.get(63));
+  EXPECT_EQ(bf.count(), 3u);
+}
+
+TEST(Bitfield, SetIsIdempotent) {
+  Bitfield bf(10);
+  bf.set(5);
+  bf.set(5);
+  EXPECT_EQ(bf.count(), 1u);
+  bf.clear(5);
+  bf.clear(5);
+  EXPECT_EQ(bf.count(), 0u);
+}
+
+TEST(Bitfield, OutOfRangeThrows) {
+  Bitfield bf(10);
+  EXPECT_THROW(bf.get(10), std::out_of_range);
+  EXPECT_THROW(bf.set(10), std::out_of_range);
+  EXPECT_THROW(bf.clear(99), std::out_of_range);
+}
+
+TEST(Bitfield, Complete) {
+  Bitfield bf(3);
+  bf.set(0);
+  bf.set(1);
+  EXPECT_FALSE(bf.complete());
+  bf.set(2);
+  EXPECT_TRUE(bf.complete());
+  EXPECT_FALSE(Bitfield(0).complete());  // empty file is never "complete"
+}
+
+TEST(Bitfield, InterestedIn) {
+  Bitfield mine(10), theirs(10);
+  theirs.set(3);
+  EXPECT_TRUE(mine.interested_in(theirs));
+  mine.set(3);
+  EXPECT_FALSE(mine.interested_in(theirs));
+  theirs.set(7);
+  EXPECT_TRUE(mine.interested_in(theirs));
+}
+
+TEST(Bitfield, InterestedInSizeMismatchThrows) {
+  Bitfield a(10), b(11);
+  EXPECT_THROW(a.interested_in(b), std::invalid_argument);
+}
+
+TEST(Bitfield, MissingFrom) {
+  Bitfield mine(130), theirs(130);
+  theirs.set(0);
+  theirs.set(64);
+  theirs.set(129);
+  mine.set(64);
+  const auto missing = mine.missing_from(theirs);
+  EXPECT_EQ(missing, (std::vector<PieceIndex>{0, 129}));
+}
+
+TEST(Bitfield, ToVector) {
+  Bitfield bf(70);
+  bf.set(69);
+  bf.set(2);
+  EXPECT_EQ(bf.to_vector(), (std::vector<PieceIndex>{2, 69}));
+}
+
+class BitfieldMessageRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitfieldMessageRoundTrip, Wire) {
+  const std::size_t n = GetParam();
+  Bitfield bf(n);
+  for (PieceIndex i = 0; i < n; i += 3) bf.set(i);
+  const Bitfield back = Bitfield::from_message(bf.to_message());
+  EXPECT_EQ(back, bf);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitfieldMessageRoundTrip,
+                         ::testing::Values(1, 7, 8, 9, 63, 64, 65, 100, 2048));
+
+TEST(Bitfield, FromMessageRejectsShortBits) {
+  net::BitfieldMsg m;
+  m.piece_count = 100;
+  m.bits = util::Bytes(5);  // needs 13
+  EXPECT_THROW(Bitfield::from_message(m), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tc::bt

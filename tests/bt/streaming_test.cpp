@@ -1,0 +1,133 @@
+// Streaming piece-selection policy (sequential window) — the future-work
+// adaptation of §VI, layered purely on piece selection.
+#include <gtest/gtest.h>
+
+#include "src/analysis/metrics.h"
+#include "src/bt/swarm.h"
+#include "src/protocols/tchain.h"
+
+namespace tc::bt {
+namespace {
+
+TEST(BitfieldStreaming, FirstMissing) {
+  Bitfield bf(100);
+  EXPECT_EQ(bf.first_missing(), 0u);
+  bf.set(0);
+  bf.set(1);
+  bf.set(3);
+  EXPECT_EQ(bf.first_missing(), 2u);
+  bf.set(2);
+  EXPECT_EQ(bf.first_missing(), 4u);
+  for (PieceIndex i = 0; i < 100; ++i) bf.set(i);
+  EXPECT_EQ(bf.first_missing(), 100u);  // == size(): complete
+}
+
+TEST(BitfieldStreaming, FirstMissingAcrossWordBoundary) {
+  Bitfield bf(130);
+  for (PieceIndex i = 0; i < 64; ++i) bf.set(i);
+  EXPECT_EQ(bf.first_missing(), 64u);
+  for (PieceIndex i = 64; i < 128; ++i) bf.set(i);
+  EXPECT_EQ(bf.first_missing(), 128u);
+}
+
+class SinkProtocol : public Protocol {
+ public:
+  std::string name() const override { return "sink"; }
+  util::ByteCount default_piece_bytes() const override { return 64 * util::kKiB; }
+};
+
+TEST(StreamingPolicy, SelectionStaysInWindow) {
+  SinkProtocol proto;
+  SwarmConfig cfg;
+  cfg.leecher_count = 2;
+  cfg.piece_bytes = 64 * util::kKiB;
+  cfg.file_bytes = 64 * cfg.piece_bytes;
+  cfg.piece_policy = PiecePolicy::kSequentialWindow;
+  cfg.stream_window = 8;
+  cfg.seed = 3;
+  cfg.max_sim_time = 50.0;
+  cfg.wait_for_freeriders = false;
+  Swarm swarm(cfg, proto);
+  swarm.run();
+
+  PeerId leecher = net::kNoPeer;
+  for (PeerId id : swarm.active_peers()) {
+    if (id != swarm.seeder_id()) leecher = id;
+  }
+  ASSERT_NE(leecher, net::kNoPeer);
+
+  // Repeated selections against the seeder must stay within the playback
+  // window [playhead, playhead + 8).
+  for (int round = 0; round < 6; ++round) {
+    const PieceIndex playhead = swarm.peer(leecher)->have.first_missing();
+    const auto sel = swarm.select_lrf(leecher, swarm.seeder_id());
+    ASSERT_TRUE(sel.has_value());
+    EXPECT_GE(*sel, playhead);
+    EXPECT_LT(*sel, playhead + 8);
+    swarm.grant_piece(leecher, *sel, swarm.seeder_id());
+  }
+}
+
+TEST(StreamingPolicy, FallsBackWhenWindowClaimed) {
+  SinkProtocol proto;
+  SwarmConfig cfg;
+  cfg.leecher_count = 2;
+  cfg.piece_bytes = 64 * util::kKiB;
+  cfg.file_bytes = 16 * cfg.piece_bytes;
+  cfg.piece_policy = PiecePolicy::kSequentialWindow;
+  cfg.stream_window = 4;
+  cfg.seed = 4;
+  cfg.max_sim_time = 50.0;
+  cfg.wait_for_freeriders = false;
+  Swarm swarm(cfg, proto);
+  swarm.run();
+  PeerId leecher = net::kNoPeer;
+  for (PeerId id : swarm.active_peers()) {
+    if (id != swarm.seeder_id()) leecher = id;
+  }
+  // Claim the whole window as in-flight; selection must fall back to a
+  // piece beyond it rather than stall.
+  Peer* p = swarm.peer(leecher);
+  for (PieceIndex i = 0; i < 4; ++i) p->requested.set(i);
+  const auto sel = swarm.select_lrf(leecher, swarm.seeder_id());
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_GE(*sel, 4u);
+}
+
+TEST(StreamingPolicy, TChainSwarmCompletesAndImprovesStartup) {
+  auto run = [](PiecePolicy policy) {
+    protocols::TChainProtocol proto;
+    SwarmConfig cfg;
+    cfg.leecher_count = 40;
+    cfg.piece_bytes = proto.default_piece_bytes();
+    cfg.file_bytes = 64 * cfg.piece_bytes;
+    cfg.piece_policy = policy;
+    cfg.stream_window = 8;
+    cfg.seed = 9;
+    Swarm swarm(cfg, proto);
+    swarm.set_trace_extremes(true);
+    swarm.run();
+    EXPECT_EQ(swarm.metrics().unfinished_count(
+                  analysis::SwarmMetrics::PeerFilter::kCompliant),
+              0u);
+    // Startup proxy: time of the 8th in-order piece for the traced peer.
+    const auto* tl = swarm.metrics().timeline(swarm.traced_fast_peer());
+    if (tl == nullptr || tl->completed.empty()) return -1.0;
+    std::vector<bool> have(swarm.piece_count(), false);
+    std::size_t playhead = 0;
+    for (const auto& [t, piece] : tl->completed) {
+      have[piece] = true;
+      while (playhead < have.size() && have[playhead]) ++playhead;
+      if (playhead >= 8) return t;
+    }
+    return -1.0;
+  };
+  const double lrf = run(PiecePolicy::kRarestFirst);
+  const double window = run(PiecePolicy::kSequentialWindow);
+  ASSERT_GT(lrf, 0.0);
+  ASSERT_GT(window, 0.0);
+  EXPECT_LT(window, lrf);  // streaming policy starts playing sooner
+}
+
+}  // namespace
+}  // namespace tc::bt

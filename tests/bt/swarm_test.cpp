@@ -1,0 +1,242 @@
+#include "src/bt/swarm.h"
+
+#include <gtest/gtest.h>
+
+namespace tc::bt {
+namespace {
+
+// Inert protocol: lets us drive the swarm by hand.
+class NullProtocol : public Protocol {
+ public:
+  std::string name() const override { return "null"; }
+  util::ByteCount default_piece_bytes() const override { return 64 * util::kKiB; }
+
+  std::vector<std::pair<PeerId, PieceIndex>> completions;
+  void on_piece_complete(PeerId peer, PieceIndex piece, PeerId) override {
+    completions.emplace_back(peer, piece);
+  }
+};
+
+SwarmConfig tiny_config(std::size_t leechers = 4) {
+  SwarmConfig cfg;
+  cfg.leecher_count = leechers;
+  cfg.file_bytes = 4 * 64 * util::kKiB;  // 4 pieces
+  cfg.piece_bytes = 64 * util::kKiB;
+  cfg.seed = 7;
+  cfg.max_sim_time = 100.0;
+  cfg.wait_for_freeriders = false;
+  return cfg;
+}
+
+TEST(Swarm, SeederAndLeechersJoinAndConnect) {
+  NullProtocol proto;
+  Swarm swarm(tiny_config(4), proto);
+  swarm.run();  // no protocol => nobody downloads; run ends at max time or idle
+
+  const Peer* seeder = swarm.peer(swarm.seeder_id());
+  ASSERT_NE(seeder, nullptr);
+  EXPECT_TRUE(seeder->seeder);
+  EXPECT_TRUE(seeder->have.complete());
+  EXPECT_EQ(swarm.piece_count(), 4u);
+  // Everyone should be everyone's neighbor in a tiny swarm.
+  EXPECT_EQ(seeder->neighbors.size(), 4u);
+  for (PeerId id : swarm.active_peers()) {
+    const Peer* p = swarm.peer(id);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->neighbors.size(), 4u) << id;
+  }
+}
+
+TEST(Swarm, BandwidthClassesAssignedRoundRobin) {
+  NullProtocol proto;
+  auto cfg = tiny_config(10);
+  cfg.leecher_upload_kbps = {400, 1200};
+  Swarm swarm(cfg, proto);
+  swarm.run();
+  int slow = 0, fast = 0;
+  for (PeerId id : swarm.active_peers()) {
+    const Peer* p = swarm.peer(id);
+    if (p->seeder) continue;
+    if (p->upload_kbps == 400) ++slow;
+    if (p->upload_kbps == 1200) ++fast;
+  }
+  EXPECT_EQ(slow, 5);
+  EXPECT_EQ(fast, 5);
+}
+
+TEST(Swarm, FreeriderFractionIsExact) {
+  NullProtocol proto;
+  auto cfg = tiny_config(20);
+  cfg.freerider_fraction = 0.25;
+  Swarm swarm(cfg, proto);
+  swarm.run();
+  int fr = 0;
+  for (PeerId id : swarm.active_peers()) {
+    const Peer* p = swarm.peer(id);
+    if (!p->seeder && p->freerider) ++fr;
+  }
+  EXPECT_EQ(fr, 5);
+}
+
+TEST(Swarm, NeedsFromAndLrfRespectAvailability) {
+  NullProtocol proto;
+  auto cfg = tiny_config(3);
+  Swarm swarm(cfg, proto);
+  swarm.run();
+  const auto peers = swarm.active_peers();
+  const PeerId seeder = swarm.seeder_id();
+  PeerId leecher = net::kNoPeer;
+  for (PeerId id : peers)
+    if (id != seeder) leecher = id;
+  ASSERT_NE(leecher, net::kNoPeer);
+
+  EXPECT_TRUE(swarm.needs_from(leecher, seeder));
+  EXPECT_FALSE(swarm.needs_from(seeder, leecher));
+  EXPECT_EQ(swarm.needed_pieces(leecher, seeder).size(), 4u);
+  EXPECT_TRUE(swarm.select_lrf(leecher, seeder).has_value());
+  EXPECT_FALSE(swarm.select_lrf(seeder, leecher).has_value());
+}
+
+TEST(Swarm, LrfPrefersRarestPiece) {
+  NullProtocol proto;
+  auto cfg = tiny_config(5);
+  Swarm swarm(cfg, proto);
+  swarm.run();
+  const PeerId seeder = swarm.seeder_id();
+  std::vector<PeerId> leechers;
+  for (PeerId id : swarm.active_peers())
+    if (id != seeder) leechers.push_back(id);
+
+  // Give everyone piece 0..2 except piece 3 rare: only one holder besides
+  // the seeder. A chooser should pick the piece with minimal availability.
+  for (std::size_t i = 0; i < leechers.size(); ++i) {
+    for (PieceIndex p = 0; p < 3; ++p) swarm.grant_piece(leechers[i], p, seeder);
+  }
+  // Now every leecher needs only piece 3 from the seeder.
+  const PeerId chooser = leechers[0];
+  const auto sel = swarm.select_lrf(chooser, seeder);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(*sel, 3u);
+}
+
+TEST(Swarm, GrantPieceUpdatesMetricsAndAvailability) {
+  NullProtocol proto;
+  Swarm swarm(tiny_config(3), proto);
+  swarm.run();
+  const PeerId seeder = swarm.seeder_id();
+  PeerId a = net::kNoPeer, b = net::kNoPeer;
+  for (PeerId id : swarm.active_peers()) {
+    if (id == seeder) continue;
+    if (a == net::kNoPeer) {
+      a = id;
+    } else if (b == net::kNoPeer) {
+      b = id;
+    }
+  }
+  EXPECT_EQ(swarm.availability(b, 2), 1u);  // only the seeder has piece 2
+  swarm.grant_piece(a, 2, seeder);
+  EXPECT_EQ(swarm.availability(b, 2), 2u);  // now a has it too
+  EXPECT_EQ(swarm.metrics().find(a)->pieces_downloaded, 1);
+  // Duplicate grant is a no-op.
+  swarm.grant_piece(a, 2, seeder);
+  EXPECT_EQ(swarm.metrics().find(a)->pieces_downloaded, 1);
+  ASSERT_FALSE(proto.completions.empty());
+  EXPECT_EQ(proto.completions.back(), (std::pair<PeerId, PieceIndex>{a, 2}));
+}
+
+TEST(Swarm, UploadDeliversAndCounts) {
+  NullProtocol proto;
+  Swarm swarm(tiny_config(2), proto);
+  swarm.run();
+  const PeerId seeder = swarm.seeder_id();
+  PeerId leecher = net::kNoPeer;
+  for (PeerId id : swarm.active_peers())
+    if (id != seeder) leecher = id;
+
+  bool delivered = false;
+  swarm.start_upload(seeder, leecher, 1, 1.0,
+                     [&](PeerId, PeerId, PieceIndex, bool ok) {
+                       delivered = ok;
+                     });
+  // Piece marked in-flight immediately.
+  EXPECT_TRUE(swarm.peer(leecher)->requested.get(1));
+  swarm.simulator().run(swarm.simulator().now() + 60.0);
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(swarm.metrics().find(seeder)->pieces_uploaded, 1);
+  EXPECT_GT(swarm.metrics().find(leecher)->bytes_downloaded, 0.0);
+}
+
+TEST(Swarm, DepartAbortsTransfersAndClearsRequested) {
+  NullProtocol proto;
+  Swarm swarm(tiny_config(3), proto);
+  swarm.run();
+  const PeerId seeder = swarm.seeder_id();
+  std::vector<PeerId> leechers;
+  for (PeerId id : swarm.active_peers())
+    if (id != seeder) leechers.push_back(id);
+
+  bool ok = true;
+  swarm.start_upload(seeder, leechers[0], 0, 1.0,
+                     [&](PeerId, PeerId, PieceIndex, bool k) { ok = k; });
+  swarm.depart(leechers[0]);
+  EXPECT_FALSE(ok);  // abort callback fired
+  EXPECT_FALSE(swarm.is_active(leechers[0]));
+  // Departed peer no longer neighbors anyone.
+  EXPECT_FALSE(swarm.peer(leechers[1])->is_neighbor(leechers[0]));
+}
+
+TEST(Swarm, WhitewashKeepsPiecesUnderNewIdentity) {
+  NullProtocol proto;
+  auto cfg = tiny_config(3);
+  cfg.freerider_fraction = 0.4;  // 1 freerider of 3
+  cfg.freerider_whitewash = false;  // manual control below
+  Swarm swarm(cfg, proto);
+  swarm.run();
+  PeerId fr = net::kNoPeer;
+  for (PeerId id : swarm.active_peers()) {
+    const Peer* p = swarm.peer(id);
+    if (!p->seeder && p->freerider) fr = id;
+  }
+  ASSERT_NE(fr, net::kNoPeer);
+  swarm.grant_piece(fr, 0, swarm.seeder_id());
+
+  const PeerId fresh = swarm.whitewash(fr);
+  EXPECT_NE(fresh, fr);
+  EXPECT_EQ(swarm.peer(fr), nullptr);
+  const Peer* p = swarm.peer(fresh);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(p->have.get(0));  // downloads survive the identity change
+  // Metrics carried over under the new identity.
+  const auto* rec = swarm.metrics().find(fresh);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->pieces_downloaded, 1);
+  EXPECT_EQ(rec->whitewash_count, 1);
+  EXPECT_EQ(swarm.metrics().find(fr), nullptr);
+}
+
+TEST(Swarm, InitialPieceFractionPrepopulates) {
+  NullProtocol proto;
+  auto cfg = tiny_config(4);
+  cfg.initial_piece_fraction = 0.5;
+  Swarm swarm(cfg, proto);
+  swarm.run();
+  for (PeerId id : swarm.active_peers()) {
+    const Peer* p = swarm.peer(id);
+    if (p->seeder) continue;
+    EXPECT_EQ(p->have.count(), 2u);  // 50% of 4 pieces
+  }
+}
+
+TEST(Swarm, ControlMessageLatency) {
+  NullProtocol proto;
+  Swarm swarm(tiny_config(2), proto);
+  swarm.run();
+  double fired_at = -1;
+  const double t0 = swarm.simulator().now();
+  swarm.send_control([&] { fired_at = swarm.simulator().now(); });
+  swarm.simulator().run(swarm.simulator().now() + 10.0);
+  EXPECT_NEAR(fired_at - t0, swarm.config().control_latency, 1e-9);
+}
+
+}  // namespace
+}  // namespace tc::bt

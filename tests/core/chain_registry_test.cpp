@@ -1,0 +1,89 @@
+#include "src/core/chain_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace tc::core {
+namespace {
+
+TEST(ChainRegistry, CreateExtendTerminate) {
+  ChainRegistry r;
+  const ChainId c = r.create(1, /*by_seeder=*/true, 0.0);
+  EXPECT_TRUE(r.is_active(c));
+  EXPECT_EQ(r.active_count(), 1u);
+  r.extend(c);
+  r.extend(c);
+  r.terminate(c, 5.0);
+  EXPECT_FALSE(r.is_active(c));
+  EXPECT_EQ(r.active_count(), 0u);
+  const auto* info = r.info(c);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->length, 2u);
+  EXPECT_DOUBLE_EQ(info->terminated, 5.0);
+  EXPECT_TRUE(info->by_seeder);
+}
+
+TEST(ChainRegistry, TerminateIsIdempotent) {
+  ChainRegistry r;
+  const ChainId c = r.create(1, true, 0.0);
+  r.terminate(c, 1.0);
+  r.terminate(c, 2.0);
+  EXPECT_DOUBLE_EQ(r.info(c)->terminated, 1.0);
+  EXPECT_EQ(r.active_count(), 0u);
+}
+
+TEST(ChainRegistry, CreatorAttribution) {
+  ChainRegistry r;
+  r.create(1, true, 0.0);
+  r.create(2, false, 0.0);
+  r.create(3, false, 0.0);
+  EXPECT_EQ(r.created_by_seeder(), 1u);
+  EXPECT_EQ(r.created_by_leechers(), 2u);
+  EXPECT_EQ(r.total_created(), 3u);
+  EXPECT_NEAR(r.opportunistic_fraction(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ChainRegistry, OpportunisticFractionEmpty) {
+  ChainRegistry r;
+  EXPECT_DOUBLE_EQ(r.opportunistic_fraction(), 0.0);
+}
+
+TEST(ChainRegistry, MeanTerminatedLength) {
+  ChainRegistry r;
+  const ChainId a = r.create(1, true, 0.0);
+  const ChainId b = r.create(1, true, 0.0);
+  for (int i = 0; i < 4; ++i) r.extend(a);
+  for (int i = 0; i < 2; ++i) r.extend(b);
+  r.terminate(a, 1.0);
+  EXPECT_DOUBLE_EQ(r.mean_terminated_length(), 4.0);
+  r.terminate(b, 1.0);
+  EXPECT_DOUBLE_EQ(r.mean_terminated_length(), 3.0);
+}
+
+TEST(ChainRegistry, CensusTimeSeries) {
+  ChainRegistry r;
+  r.sample(0.0);
+  const ChainId a = r.create(1, true, 0.5);
+  r.create(2, false, 0.6);
+  r.sample(1.0);
+  r.terminate(a, 1.5);
+  r.sample(2.0);
+  const auto& census = r.census();
+  ASSERT_EQ(census.size(), 3u);
+  EXPECT_EQ(census[0].active_chains, 0u);
+  EXPECT_EQ(census[1].active_chains, 2u);
+  EXPECT_EQ(census[2].active_chains, 1u);
+  EXPECT_EQ(census[2].cumulative_seeder, 1u);
+  EXPECT_EQ(census[2].cumulative_leecher, 1u);
+}
+
+TEST(ChainRegistry, UnknownChainQueriesAreSafe) {
+  ChainRegistry r;
+  EXPECT_FALSE(r.is_active(999));
+  EXPECT_EQ(r.info(999), nullptr);
+  r.extend(999);     // no-op
+  r.terminate(999, 1.0);  // no-op
+  EXPECT_EQ(r.active_count(), 0u);
+}
+
+}  // namespace
+}  // namespace tc::core

@@ -1,0 +1,113 @@
+#include "src/core/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tc::core {
+namespace {
+
+PayeeQuery base_query() {
+  PayeeQuery q;
+  q.donor = 1;
+  q.requestor = 2;
+  q.donor_neighbors = {2, 3, 4, 5};
+  q.payee_ok = [](PeerId) { return true; };
+  return q;
+}
+
+TEST(SelectPayee, DirectReciprocityWhenRequestorHasWhatDonorNeeds) {
+  util::Rng rng(1);
+  auto q = base_query();
+  q.donor_needs_requestor = true;
+  EXPECT_EQ(select_payee(q, rng), q.donor);
+}
+
+TEST(SelectPayee, SeederNeverDesignatesItself) {
+  util::Rng rng(2);
+  auto q = base_query();
+  q.donor_needs_requestor = true;  // vacuous for a seeder
+  q.donor_is_seeder = true;
+  const PeerId p = select_payee(q, rng);
+  EXPECT_NE(p, q.donor);
+  EXPECT_NE(p, q.requestor);
+}
+
+TEST(SelectPayee, DirectDisabledByAblationSwitch) {
+  util::Rng rng(3);
+  auto q = base_query();
+  q.donor_needs_requestor = true;
+  q.allow_direct = false;
+  EXPECT_NE(select_payee(q, rng), q.donor);
+}
+
+TEST(SelectPayee, IndirectExcludesRequestorAndDonor) {
+  util::Rng rng(4);
+  auto q = base_query();
+  q.donor_neighbors = {1, 2, 2, 1};  // only self/requestor available
+  EXPECT_EQ(select_payee(q, rng), net::kNoPeer);
+}
+
+TEST(SelectPayee, IndirectRespectsEligibilityFilter) {
+  util::Rng rng(5);
+  auto q = base_query();
+  q.payee_ok = [](PeerId n) { return n == 4; };
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(select_payee(q, rng), 4u);
+}
+
+TEST(SelectPayee, NoQualifiedNeighborMeansTermination) {
+  util::Rng rng(6);
+  auto q = base_query();
+  q.payee_ok = [](PeerId) { return false; };
+  EXPECT_EQ(select_payee(q, rng), net::kNoPeer);
+}
+
+TEST(SelectPayee, IndirectChoiceIsUniform) {
+  util::Rng rng(7);
+  auto q = base_query();
+  std::map<PeerId, int> counts;
+  for (int i = 0; i < 6000; ++i) ++counts[select_payee(q, rng)];
+  // Candidates are {3,4,5}; ~2000 each.
+  EXPECT_EQ(counts.size(), 3u);
+  for (const auto& [p, c] : counts) EXPECT_NEAR(c, 2000, 250) << p;
+}
+
+TEST(BootstrapPiece, PicksPieceBothNeed) {
+  util::Rng rng(8);
+  bt::Bitfield donor(8), req(8), payee(8);
+  for (bt::PieceIndex i = 0; i < 8; ++i) donor.set(i);
+  req.set(0);
+  req.set(1);     // requestor claims 0,1
+  payee.set(1);
+  payee.set(2);   // payee claims 1,2
+  // Both need: {3..7} (0 claimed by req, 2 claimed by payee).
+  std::set<bt::PieceIndex> seen;
+  for (int i = 0; i < 200; ++i) {
+    const auto p = select_bootstrap_piece(donor, req, payee, rng);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_GE(*p, 3u);
+    seen.insert(*p);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // covers all of {3..7}
+}
+
+TEST(BootstrapPiece, NoneWhenNoCommonNeed) {
+  util::Rng rng(9);
+  bt::Bitfield donor(4), req(4), payee(4);
+  donor.set(0);
+  donor.set(1);
+  req.set(0);
+  payee.set(1);
+  // req needs 1 (payee has claimed it); payee needs 0 (req claimed it).
+  EXPECT_FALSE(select_bootstrap_piece(donor, req, payee, rng).has_value());
+}
+
+TEST(OpportunisticSeeding, Trigger) {
+  EXPECT_TRUE(may_opportunistically_seed(1, 0));
+  EXPECT_TRUE(may_opportunistically_seed(10, 0));
+  EXPECT_FALSE(may_opportunistically_seed(0, 0));  // needs a completed piece
+  EXPECT_FALSE(may_opportunistically_seed(5, 1));  // has unmet obligations
+}
+
+}  // namespace
+}  // namespace tc::core

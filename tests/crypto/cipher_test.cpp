@@ -1,0 +1,104 @@
+#include "src/crypto/cipher.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tc::crypto {
+namespace {
+
+TEST(KeySource, KeysAreUniqueAndDeterministic) {
+  KeySource a(99), b(99);
+  std::set<std::string> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto ka = a.next();
+    const auto kb = b.next();
+    EXPECT_EQ(ka, kb);  // deterministic from seed
+    seen.insert(util::to_hex(ka.serialize()));
+  }
+  EXPECT_EQ(seen.size(), 1000u);  // never reused (paper footnote 2)
+  EXPECT_EQ(a.keys_issued(), 1000u);
+}
+
+TEST(SymmetricKey, SerializeRoundTrip) {
+  KeySource ks(5);
+  const auto k = ks.next();
+  EXPECT_EQ(SymmetricKey::deserialize(k.serialize()), k);
+  EXPECT_EQ(k.serialize().size(), 44u);  // 32-byte key + 12-byte nonce
+}
+
+TEST(SymmetricKey, DeserializeRejectsBadSize) {
+  EXPECT_THROW(SymmetricKey::deserialize(util::Bytes(10)), std::invalid_argument);
+}
+
+TEST(SymmetricKey, FingerprintIsShortHex) {
+  KeySource ks(6);
+  EXPECT_EQ(ks.next().fingerprint().size(), 8u);
+}
+
+TEST(CipherFactory, Names) {
+  EXPECT_STREQ(cipher_kind_name(CipherKind::kChaCha20), "chacha20");
+  EXPECT_STREQ(cipher_kind_name(CipherKind::kXteaCtr), "xtea-ctr");
+  EXPECT_EQ(make_cipher(CipherKind::kChaCha20)->kind(), CipherKind::kChaCha20);
+  EXPECT_EQ(make_cipher(CipherKind::kXteaCtr)->kind(), CipherKind::kXteaCtr);
+}
+
+struct CipherCase {
+  CipherKind kind;
+  std::size_t len;
+};
+
+class CipherRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(CipherRoundTrip, EncryptDecrypt) {
+  const auto kind = static_cast<CipherKind>(std::get<0>(GetParam()));
+  const std::size_t len = std::get<1>(GetParam());
+  const auto cipher = make_cipher(kind);
+  KeySource ks(1234);
+  const auto key = ks.next();
+
+  util::Bytes plain(len);
+  for (std::size_t i = 0; i < len; ++i)
+    plain[i] = static_cast<std::uint8_t>(i * 31 + 5);
+
+  const auto ct = cipher->encrypt(key, plain);
+  ASSERT_EQ(ct.size(), plain.size());  // stream cipher: no expansion
+  if (len > 8) {
+    EXPECT_NE(ct, plain);
+  }
+  EXPECT_EQ(cipher->decrypt(key, ct), plain);
+
+  // Wrong key fails to decrypt (paper §III-A2: ciphertext useless without
+  // the matching key).
+  const auto wrong = ks.next();
+  if (len > 8) {
+    EXPECT_NE(cipher->decrypt(wrong, ct), plain);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCiphersAllSizes, CipherRoundTrip,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{15}, std::size_t{64},
+                                         std::size_t{1000},
+                                         std::size_t{128 * 1024})));
+
+TEST(Cipher, SameKeySamePlaintextSameCiphertext) {
+  const auto cipher = make_cipher(CipherKind::kChaCha20);
+  KeySource ks(7);
+  const auto key = ks.next();
+  const util::Bytes plain(100, 0xee);
+  EXPECT_EQ(cipher->encrypt(key, plain), cipher->encrypt(key, plain));
+}
+
+TEST(Cipher, DifferentKeysDifferentCiphertext) {
+  const auto cipher = make_cipher(CipherKind::kChaCha20);
+  KeySource ks(8);
+  const util::Bytes plain(100, 0xee);
+  EXPECT_NE(cipher->encrypt(ks.next(), plain), cipher->encrypt(ks.next(), plain));
+}
+
+}  // namespace
+}  // namespace tc::crypto

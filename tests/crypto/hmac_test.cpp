@@ -1,0 +1,60 @@
+// RFC 4231 HMAC-SHA256 test vectors.
+#include "src/crypto/hmac.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/bytes.h"
+
+namespace tc::crypto {
+namespace {
+
+std::string hex(const Digest256& d) { return util::to_hex(d.data(), d.size()); }
+
+TEST(HmacSha256, Rfc4231Case1) {
+  const util::Bytes key(20, 0x0b);
+  EXPECT_EQ(hex(hmac_sha256(key, "Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  const util::Bytes key{'J', 'e', 'f', 'e'};
+  EXPECT_EQ(hex(hmac_sha256(key, "what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  const util::Bytes key(20, 0xaa);
+  const util::Bytes data(50, 0xdd);
+  EXPECT_EQ(hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  const util::Bytes key(131, 0xaa);
+  EXPECT_EQ(hex(hmac_sha256(key, "Test Using Larger Than Block-Size Key - "
+                                 "Hash Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, KeySensitivity) {
+  const util::Bytes k1(16, 1), k2(16, 2);
+  EXPECT_NE(hex(hmac_sha256(k1, "msg")), hex(hmac_sha256(k2, "msg")));
+}
+
+TEST(HmacSha256, MessageSensitivity) {
+  const util::Bytes k(16, 1);
+  EXPECT_NE(hex(hmac_sha256(k, "msg1")), hex(hmac_sha256(k, "msg2")));
+}
+
+TEST(DigestEqual, EqualAndUnequal) {
+  Digest256 a{}, b{};
+  EXPECT_TRUE(digest_equal(a, b));
+  b[31] = 1;
+  EXPECT_FALSE(digest_equal(a, b));
+  b[31] = 0;
+  b[0] = 1;
+  EXPECT_FALSE(digest_equal(a, b));
+}
+
+}  // namespace
+}  // namespace tc::crypto

@@ -1,0 +1,65 @@
+// NIST FIPS 180-4 test vectors.
+#include "src/crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/bytes.h"
+
+namespace tc::crypto {
+namespace {
+
+std::string hex(const Digest256& d) {
+  return util::to_hex(d.data(), d.size());
+}
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex(sha256("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex(sha256("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex(sha256("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalEqualsOneShot) {
+  const std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly and with vigor.";
+  for (std::size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 h;
+    h.update(msg.substr(0, split));
+    h.update(msg.substr(split));
+    EXPECT_EQ(hex(h.finish()), hex(sha256(msg))) << "split=" << split;
+  }
+}
+
+TEST(Sha256, PaddingBoundaries) {
+  // Lengths around the 55/56/64-byte padding edges must all differ and be
+  // stable under re-computation.
+  for (std::size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+    const std::string m(len, 'x');
+    EXPECT_EQ(hex(sha256(m)), hex(sha256(m)));
+    EXPECT_NE(hex(sha256(m)), hex(sha256(m + "x")));
+  }
+}
+
+TEST(Sha256, BytesOverload) {
+  const util::Bytes b{'a', 'b', 'c'};
+  EXPECT_EQ(hex(sha256(b)), hex(sha256("abc")));
+}
+
+}  // namespace
+}  // namespace tc::crypto

@@ -1,0 +1,116 @@
+#include "src/model/bootstrap_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tc::model {
+namespace {
+
+TEST(Omega, PrimeIsNearHalf) {
+  EXPECT_NEAR(omega_prime_uniform(100), 0.5, 0.01);  // paper quotes 0.495
+  EXPECT_NEAR(omega_prime_uniform(1000), 0.5, 0.001);
+}
+
+TEST(Omega, DoublePrimeApproxLogMOverM) {
+  // Paper: omega'' ~ log(M)/M for large M, uniform piece counts.
+  for (std::size_t M : {50u, 100u, 400u}) {
+    const double w2 = omega_double_prime_uniform(M);
+    const double approx = std::log(static_cast<double>(M)) / static_cast<double>(M);
+    EXPECT_NEAR(w2, approx, 0.6 * approx) << M;
+    EXPECT_GT(w2, 0.0);
+    EXPECT_LT(w2, 1.0);
+  }
+}
+
+TEST(Omega, DoublePrimeAtMostPrime) {
+  // The paper assumes omega'' <= omega' throughout.
+  for (std::size_t M : {10u, 100u, 300u}) {
+    EXPECT_LE(omega_double_prime_uniform(M), omega_prime_uniform(M)) << M;
+  }
+}
+
+TEST(Trajectory, BitTorrentMonotoneDecrease) {
+  ModelParams p;
+  const auto traj = bittorrent_trajectory(p, /*x0=*/p.n, 200);
+  for (std::size_t i = 1; i < traj.size(); ++i) {
+    EXPECT_LE(traj[i].x, traj[i - 1].x + 1e-9);
+  }
+  EXPECT_LT(traj.back().x, 1.0);  // eventually everyone bootstrapped
+}
+
+TEST(Trajectory, TChainDrainsUnbootstrappedPool) {
+  ModelParams p;
+  const auto traj = tchain_trajectory(p, p.n - 1, 0.0, 300);
+  EXPECT_LT(traj.back().x + traj.back().y, 1.0);
+  // z never exceeds n.
+  for (const auto& pt : traj) {
+    EXPECT_GE(pt.z, -1e-9);
+    EXPECT_LE(pt.z, p.n + 1e-9);
+  }
+}
+
+TEST(Trajectory, TChainBootstrapsFasterInFlashCrowd) {
+  // The headline of §III-B3: with most peers un-bootstrapped, T-Chain's
+  // chains reach newcomers faster than BitTorrent's optimistic unchokes.
+  ModelParams p;
+  p.n = 600;
+  p.K = 2;
+  const double x0 = p.n - 10;  // flash crowd: nearly everyone new
+  const auto bt = bittorrent_trajectory(p, x0, 100);
+  const auto tcn = tchain_trajectory(p, x0, 0.0, 100);
+  // Compare total un-bootstrapped peers after 30 slots.
+  EXPECT_LT(tcn[30].x + tcn[30].y, bt[30].x);
+}
+
+TEST(Proposition31, HoldsInPaperExample) {
+  // Paper: delta=0.2, omega'~0.495, mu=0.5, K=2 satisfies K*omega'*mu>=delta.
+  ModelParams p;
+  p.n = 600;
+  p.K = 2;
+  p.delta = 0.2;
+  const double mu = 0.5;
+  // x_t + y_t = mu*n un-bootstrapped in T-Chain, same for BitTorrent.
+  EXPECT_TRUE(prop31_condition(p, mu * p.n / 2, mu * p.n / 2, mu * p.n));
+}
+
+TEST(Proposition31, FailsWhenKTooSmall) {
+  ModelParams p;
+  p.n = 600;
+  p.K = 0.01;  // nearly no chains: T-Chain can't beat optimistic unchoking
+  EXPECT_FALSE(prop31_condition(p, 100, 100, 300));
+}
+
+TEST(Proposition32, KOmegaCondition) {
+  // Limit form: delta*(1-nu) <= K*omega''*(1-mu); generous K satisfies it.
+  ModelParams p;
+  p.n = 600;
+  p.M = 100;
+  p.delta = 0.2;
+  p.K = 10;
+  EXPECT_TRUE(prop32_condition(p, /*mu=*/0.1, /*nu=*/0.5));
+  p.K = 0.01;
+  EXPECT_FALSE(prop32_condition(p, 0.1, 0.5));
+}
+
+TEST(Rates, InUnitInterval) {
+  ModelParams p;
+  for (double x : {10.0, 100.0, 500.0}) {
+    EXPECT_GT(bittorrent_rate(p, x), 0.0);
+    EXPECT_LT(bittorrent_rate(p, x), 1.0);
+    EXPECT_GT(tchain_rate(p, x, 10.0), 0.0);
+    EXPECT_LT(tchain_rate(p, x, 10.0), 1.0);
+  }
+}
+
+TEST(Trajectory, ArrivalsKeepPoolNonEmpty) {
+  ModelParams p;
+  p.alpha = 0.01;
+  p.beta = 0.01;  // constant population with churn
+  const auto traj = tchain_trajectory(p, p.n / 2, 0.0, 500);
+  // Steady state: some newcomers always present.
+  EXPECT_GT(traj.back().x, 0.5);
+}
+
+}  // namespace
+}  // namespace tc::model

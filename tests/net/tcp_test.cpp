@@ -1,0 +1,95 @@
+#include "src/net/tcp.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace tc::net {
+namespace {
+
+TEST(Tcp, FrameEchoOverLoopback) {
+  Listener listener(0);
+  const std::uint16_t port = listener.port();
+  ASSERT_GT(port, 0);
+
+  std::thread server([&] {
+    FrameSocket conn = listener.accept();
+    while (auto frame = conn.recv_frame()) {
+      conn.send_frame(*frame);  // echo
+    }
+  });
+
+  FrameSocket client = FrameSocket::connect_to("127.0.0.1", port);
+  for (std::size_t len : {0u, 1u, 100u, 70000u}) {
+    util::Bytes msg(len);
+    for (std::size_t i = 0; i < len; ++i)
+      msg[i] = static_cast<std::uint8_t>(i);
+    client.send_frame(msg);
+    const auto echoed = client.recv_frame();
+    ASSERT_TRUE(echoed.has_value());
+    EXPECT_EQ(*echoed, msg);
+  }
+  client.close();
+  server.join();
+}
+
+TEST(Tcp, TypedMessagesOverLoopback) {
+  Listener listener(0);
+  std::thread server([&] {
+    FrameSocket conn = listener.accept();
+    auto msg = conn.recv_message();
+    ASSERT_TRUE(msg.has_value());
+    // Bounce back a receipt for whatever encrypted piece arrived.
+    const auto& ep = std::get<EncryptedPieceMsg>(*msg);
+    ReceiptMsg r;
+    r.reciprocated_tx = ep.tx;
+    r.payee = ep.payee;
+    r.requestor = ep.donor;
+    r.piece = ep.piece;
+    conn.send_message(Message{r});
+  });
+
+  FrameSocket client = FrameSocket::connect_to("127.0.0.1", listener.port());
+  EncryptedPieceMsg ep;
+  ep.tx = 31337;
+  ep.donor = 1;
+  ep.requestor = 2;
+  ep.payee = 3;
+  ep.piece = 4;
+  ep.ciphertext = util::Bytes(256, 0xcd);
+  client.send_message(Message{ep});
+  const auto reply = client.recv_message();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(std::get<ReceiptMsg>(*reply).reciprocated_tx, 31337u);
+  client.close();
+  server.join();
+}
+
+TEST(Tcp, CleanEofReturnsNullopt) {
+  Listener listener(0);
+  std::thread server([&] {
+    FrameSocket conn = listener.accept();
+    conn.close();
+  });
+  FrameSocket client = FrameSocket::connect_to("127.0.0.1", listener.port());
+  EXPECT_FALSE(client.recv_frame().has_value());
+  server.join();
+}
+
+TEST(Tcp, ConnectToBadAddressThrows) {
+  EXPECT_THROW(FrameSocket::connect_to("not-an-ip", 1), std::runtime_error);
+}
+
+TEST(Tcp, MoveSemantics) {
+  Listener listener(0);
+  std::thread server([&] { FrameSocket conn = listener.accept(); });
+  FrameSocket a = FrameSocket::connect_to("127.0.0.1", listener.port());
+  EXPECT_TRUE(a.valid());
+  FrameSocket b = std::move(a);
+  EXPECT_TRUE(b.valid());
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move)
+  server.join();
+}
+
+}  // namespace
+}  // namespace tc::net

@@ -1,0 +1,123 @@
+// EigenTrust and Dandelion (Table II's indirect-reciprocity baselines).
+#include <gtest/gtest.h>
+
+#include "src/analysis/metrics.h"
+#include "src/bt/swarm.h"
+#include "src/protocols/indirect.h"
+
+namespace tc::protocols {
+namespace {
+
+using F = analysis::SwarmMetrics::PeerFilter;
+
+bt::SwarmConfig cfg_for(bt::Protocol& proto, std::size_t leechers,
+                        double freeriders = 0.0) {
+  bt::SwarmConfig cfg;
+  cfg.leecher_count = leechers;
+  cfg.piece_bytes = proto.default_piece_bytes();
+  cfg.file_bytes = 32 * cfg.piece_bytes;
+  cfg.freerider_fraction = freeriders;
+  cfg.seed = 8;
+  cfg.max_sim_time = 60'000.0;
+  cfg.freerider_stall_timeout = 1200.0;
+  return cfg;
+}
+
+TEST(EigenTrust, CompliantSwarmCompletes) {
+  EigenTrustProtocol proto;
+  bt::Swarm swarm(cfg_for(proto, 20), proto);
+  swarm.run();
+  EXPECT_EQ(swarm.metrics().unfinished_count(F::kCompliant), 0u);
+}
+
+TEST(EigenTrust, ContributorsEarnTrustFreeRidersDoNot) {
+  EigenTrustProtocol proto;
+  auto cfg = cfg_for(proto, 20, 0.25);
+  cfg.freerider_whitewash = false;
+  cfg.freerider_large_view = false;
+  bt::Swarm swarm(cfg, proto);
+  swarm.run();
+  // By the end the seeder (pre-trusted) and steady contributors carry
+  // trust; free-riders never earn any (nobody reports satisfaction with
+  // them).
+  EXPECT_GT(proto.trust(swarm.seeder_id()), 0.0);
+  for (const auto* rec : swarm.metrics().all()) {
+    if (!rec->seeder && rec->freerider) {
+      EXPECT_LE(proto.trust(rec->id), 1e-9) << rec->id;
+    }
+  }
+}
+
+TEST(EigenTrust, WhitewashersKeepMilkingTheNewcomerAllotment) {
+  // The 10% newcomer allotment is exactly what whitewashing exploits
+  // (§V: "those resources have been the target of strategic free-riders").
+  EigenTrustProtocol proto;
+  auto cfg = cfg_for(proto, 20, 0.25);
+  bt::Swarm swarm(cfg, proto);
+  swarm.run();
+  const auto& m = swarm.metrics();
+  // Free-riders make progress despite zero trust.
+  std::int64_t fr_pieces = 0;
+  for (const auto* rec : m.all()) {
+    if (!rec->seeder && rec->freerider) fr_pieces += rec->pieces_downloaded;
+  }
+  EXPECT_GT(fr_pieces, 0);
+}
+
+TEST(Dandelion, CompliantSwarmCompletes) {
+  DandelionProtocol proto;
+  bt::Swarm swarm(cfg_for(proto, 20), proto);
+  swarm.run();
+  EXPECT_EQ(swarm.metrics().unfinished_count(F::kCompliant), 0u);
+}
+
+TEST(Dandelion, CreditBlocksPersistentFreeRiding) {
+  DandelionProtocol proto;
+  auto cfg = cfg_for(proto, 20, 0.25);
+  cfg.freerider_whitewash = false;  // no identity games
+  cfg.freerider_large_view = false;
+  bt::Swarm swarm(cfg, proto);
+  swarm.run();
+  // Without whitewashing, a free-rider can spend only its initial credit.
+  for (const auto* rec : swarm.metrics().all()) {
+    if (!rec->seeder && rec->freerider) {
+      EXPECT_LE(rec->pieces_downloaded,
+                static_cast<std::int64_t>(DandelionProtocol::kInitialCredit))
+          << rec->id;
+      EXPECT_FALSE(rec->finished());
+    }
+  }
+}
+
+TEST(Dandelion, WhitewashingReMintsInitialCredit) {
+  // The weakness the paper points at: initial credit is granted per
+  // identity, so whitewashers finance themselves by re-joining.
+  DandelionProtocol proto;
+  auto cfg = cfg_for(proto, 20, 0.25);
+  cfg.freerider_whitewash = true;
+  bt::Swarm swarm(cfg, proto);
+  swarm.run();
+  std::int64_t fr_pieces = 0;
+  for (const auto* rec : swarm.metrics().all()) {
+    if (!rec->seeder && rec->freerider) fr_pieces += rec->pieces_downloaded;
+  }
+  // Substantially more than one initial allotment per free-rider.
+  EXPECT_GT(fr_pieces, 5 * static_cast<std::int64_t>(
+                               DandelionProtocol::kInitialCredit));
+}
+
+TEST(Dandelion, SeederAccumulatesEarningsAndNobodyGoesNegative) {
+  DandelionProtocol proto;
+  bt::Swarm swarm(cfg_for(proto, 10), proto);
+  swarm.run();
+  // The seeder only uploads, so its balance can only grow from the mint.
+  EXPECT_GE(proto.credit(swarm.seeder_id()),
+            DandelionProtocol::kInitialCredit);
+  // The server's payment check means no live balance is ever negative.
+  for (bt::PeerId id : swarm.active_peers()) {
+    EXPECT_GE(proto.credit(id), 0.0) << id;
+  }
+}
+
+}  // namespace
+}  // namespace tc::protocols
