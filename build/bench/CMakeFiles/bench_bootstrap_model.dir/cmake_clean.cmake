@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bootstrap_model.dir/bench_bootstrap_model.cpp.o"
+  "CMakeFiles/bench_bootstrap_model.dir/bench_bootstrap_model.cpp.o.d"
+  "bench_bootstrap_model"
+  "bench_bootstrap_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bootstrap_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_chains.dir/bench_fig10_chains.cpp.o"
+  "CMakeFiles/bench_fig10_chains.dir/bench_fig10_chains.cpp.o.d"
+  "bench_fig10_chains"
+  "bench_fig10_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_oppseed.dir/bench_fig11_oppseed.cpp.o"
+  "CMakeFiles/bench_fig11_oppseed.dir/bench_fig11_oppseed.cpp.o.d"
+  "bench_fig11_oppseed"
+  "bench_fig11_oppseed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_oppseed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

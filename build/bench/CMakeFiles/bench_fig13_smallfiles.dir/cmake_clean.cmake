@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_smallfiles.dir/bench_fig13_smallfiles.cpp.o"
+  "CMakeFiles/bench_fig13_smallfiles.dir/bench_fig13_smallfiles.cpp.o.d"
+  "bench_fig13_smallfiles"
+  "bench_fig13_smallfiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_smallfiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_piece_diversity.dir/bench_fig6_piece_diversity.cpp.o"
+  "CMakeFiles/bench_fig6_piece_diversity.dir/bench_fig6_piece_diversity.cpp.o.d"
+  "bench_fig6_piece_diversity"
+  "bench_fig6_piece_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_piece_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_freeriders.dir/bench_fig7_freeriders.cpp.o"
+  "CMakeFiles/bench_fig7_freeriders.dir/bench_fig7_freeriders.cpp.o.d"
+  "bench_fig7_freeriders"
+  "bench_fig7_freeriders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_freeriders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_collusion.dir/bench_fig8_collusion.cpp.o"
+  "CMakeFiles/bench_fig8_collusion.dir/bench_fig8_collusion.cpp.o.d"
+  "bench_fig8_collusion"
+  "bench_fig8_collusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_collusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_trace.dir/bench_fig9_trace.cpp.o"
+  "CMakeFiles/bench_fig9_trace.dir/bench_fig9_trace.cpp.o.d"
+  "bench_fig9_trace"
+  "bench_fig9_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overhead_crypto.dir/bench_overhead_crypto.cpp.o"
+  "CMakeFiles/bench_overhead_crypto.dir/bench_overhead_crypto.cpp.o.d"
+  "bench_overhead_crypto"
+  "bench_overhead_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

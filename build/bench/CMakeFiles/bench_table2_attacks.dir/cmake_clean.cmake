@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_attacks.dir/bench_table2_attacks.cpp.o"
+  "CMakeFiles/bench_table2_attacks.dir/bench_table2_attacks.cpp.o.d"
+  "bench_table2_attacks"
+  "bench_table2_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

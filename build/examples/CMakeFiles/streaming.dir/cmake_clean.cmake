@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming.dir/streaming.cpp.o"
+  "CMakeFiles/streaming.dir/streaming.cpp.o.d"
+  "streaming"
+  "streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

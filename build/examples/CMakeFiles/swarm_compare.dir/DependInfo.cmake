@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/swarm_compare.cpp" "examples/CMakeFiles/swarm_compare.dir/swarm_compare.cpp.o" "gcc" "examples/CMakeFiles/swarm_compare.dir/swarm_compare.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocols/CMakeFiles/tc_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bt/CMakeFiles/tc_bt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

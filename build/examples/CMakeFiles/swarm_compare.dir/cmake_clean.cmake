@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarm_compare.dir/swarm_compare.cpp.o"
+  "CMakeFiles/swarm_compare.dir/swarm_compare.cpp.o.d"
+  "swarm_compare"
+  "swarm_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarm_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

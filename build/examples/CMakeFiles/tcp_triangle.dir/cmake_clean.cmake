@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_triangle.dir/tcp_triangle.cpp.o"
+  "CMakeFiles/tcp_triangle.dir/tcp_triangle.cpp.o.d"
+  "tcp_triangle"
+  "tcp_triangle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_triangle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

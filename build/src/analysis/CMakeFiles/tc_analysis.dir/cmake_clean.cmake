@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_analysis.dir/metrics.cpp.o"
+  "CMakeFiles/tc_analysis.dir/metrics.cpp.o.d"
+  "libtc_analysis.a"
+  "libtc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_bt.dir/bitfield.cpp.o"
+  "CMakeFiles/tc_bt.dir/bitfield.cpp.o.d"
+  "CMakeFiles/tc_bt.dir/swarm.cpp.o"
+  "CMakeFiles/tc_bt.dir/swarm.cpp.o.d"
+  "libtc_bt.a"
+  "libtc_bt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_bt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_core.dir/chain_registry.cpp.o"
+  "CMakeFiles/tc_core.dir/chain_registry.cpp.o.d"
+  "CMakeFiles/tc_core.dir/exchange.cpp.o"
+  "CMakeFiles/tc_core.dir/exchange.cpp.o.d"
+  "CMakeFiles/tc_core.dir/pending.cpp.o"
+  "CMakeFiles/tc_core.dir/pending.cpp.o.d"
+  "CMakeFiles/tc_core.dir/policy.cpp.o"
+  "CMakeFiles/tc_core.dir/policy.cpp.o.d"
+  "CMakeFiles/tc_core.dir/transaction.cpp.o"
+  "CMakeFiles/tc_core.dir/transaction.cpp.o.d"
+  "libtc_core.a"
+  "libtc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/chacha20.cpp" "src/crypto/CMakeFiles/tc_crypto.dir/chacha20.cpp.o" "gcc" "src/crypto/CMakeFiles/tc_crypto.dir/chacha20.cpp.o.d"
+  "/root/repo/src/crypto/cipher.cpp" "src/crypto/CMakeFiles/tc_crypto.dir/cipher.cpp.o" "gcc" "src/crypto/CMakeFiles/tc_crypto.dir/cipher.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/tc_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/tc_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/tc_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/tc_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/xtea.cpp" "src/crypto/CMakeFiles/tc_crypto.dir/xtea.cpp.o" "gcc" "src/crypto/CMakeFiles/tc_crypto.dir/xtea.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

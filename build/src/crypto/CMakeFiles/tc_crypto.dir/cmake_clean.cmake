@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/tc_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/tc_crypto.dir/cipher.cpp.o"
+  "CMakeFiles/tc_crypto.dir/cipher.cpp.o.d"
+  "CMakeFiles/tc_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/tc_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/tc_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/tc_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/tc_crypto.dir/xtea.cpp.o"
+  "CMakeFiles/tc_crypto.dir/xtea.cpp.o.d"
+  "libtc_crypto.a"
+  "libtc_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_model.dir/bootstrap_model.cpp.o"
+  "CMakeFiles/tc_model.dir/bootstrap_model.cpp.o.d"
+  "libtc_model.a"
+  "libtc_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/message.cpp" "src/net/CMakeFiles/tc_net.dir/message.cpp.o" "gcc" "src/net/CMakeFiles/tc_net.dir/message.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/net/CMakeFiles/tc_net.dir/tcp.cpp.o" "gcc" "src/net/CMakeFiles/tc_net.dir/tcp.cpp.o.d"
+  "/root/repo/src/net/tracker.cpp" "src/net/CMakeFiles/tc_net.dir/tracker.cpp.o" "gcc" "src/net/CMakeFiles/tc_net.dir/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tc_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_net.dir/message.cpp.o"
+  "CMakeFiles/tc_net.dir/message.cpp.o.d"
+  "CMakeFiles/tc_net.dir/tcp.cpp.o"
+  "CMakeFiles/tc_net.dir/tcp.cpp.o.d"
+  "CMakeFiles/tc_net.dir/tracker.cpp.o"
+  "CMakeFiles/tc_net.dir/tracker.cpp.o.d"
+  "libtc_net.a"
+  "libtc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_protocols.dir/choking.cpp.o"
+  "CMakeFiles/tc_protocols.dir/choking.cpp.o.d"
+  "CMakeFiles/tc_protocols.dir/fairtorrent.cpp.o"
+  "CMakeFiles/tc_protocols.dir/fairtorrent.cpp.o.d"
+  "CMakeFiles/tc_protocols.dir/indirect.cpp.o"
+  "CMakeFiles/tc_protocols.dir/indirect.cpp.o.d"
+  "CMakeFiles/tc_protocols.dir/registry.cpp.o"
+  "CMakeFiles/tc_protocols.dir/registry.cpp.o.d"
+  "CMakeFiles/tc_protocols.dir/tchain.cpp.o"
+  "CMakeFiles/tc_protocols.dir/tchain.cpp.o.d"
+  "libtc_protocols.a"
+  "libtc_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_sim.dir/bandwidth.cpp.o"
+  "CMakeFiles/tc_sim.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/tc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/tc_sim.dir/simulator.cpp.o.d"
+  "libtc_sim.a"
+  "libtc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

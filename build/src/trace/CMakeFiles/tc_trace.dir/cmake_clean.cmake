@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_trace.dir/arrival.cpp.o"
+  "CMakeFiles/tc_trace.dir/arrival.cpp.o.d"
+  "libtc_trace.a"
+  "libtc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_util.dir/bytes.cpp.o"
+  "CMakeFiles/tc_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/tc_util.dir/flags.cpp.o"
+  "CMakeFiles/tc_util.dir/flags.cpp.o.d"
+  "CMakeFiles/tc_util.dir/logging.cpp.o"
+  "CMakeFiles/tc_util.dir/logging.cpp.o.d"
+  "CMakeFiles/tc_util.dir/rng.cpp.o"
+  "CMakeFiles/tc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/tc_util.dir/stats.cpp.o"
+  "CMakeFiles/tc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/tc_util.dir/table.cpp.o"
+  "CMakeFiles/tc_util.dir/table.cpp.o.d"
+  "libtc_util.a"
+  "libtc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_tests.dir/analysis/metrics_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/metrics_test.cpp.o.d"
+  "analysis_tests"
+  "analysis_tests.pdb"
+  "analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bt_tests.dir/bt/bitfield_test.cpp.o"
+  "CMakeFiles/bt_tests.dir/bt/bitfield_test.cpp.o.d"
+  "CMakeFiles/bt_tests.dir/bt/streaming_test.cpp.o"
+  "CMakeFiles/bt_tests.dir/bt/streaming_test.cpp.o.d"
+  "CMakeFiles/bt_tests.dir/bt/swarm_test.cpp.o"
+  "CMakeFiles/bt_tests.dir/bt/swarm_test.cpp.o.d"
+  "bt_tests"
+  "bt_tests.pdb"
+  "bt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

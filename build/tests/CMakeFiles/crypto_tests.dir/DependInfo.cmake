@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/chacha20_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/chacha20_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/chacha20_test.cpp.o.d"
+  "/root/repo/tests/crypto/cipher_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/cipher_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/cipher_test.cpp.o.d"
+  "/root/repo/tests/crypto/hmac_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/hmac_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/hmac_test.cpp.o.d"
+  "/root/repo/tests/crypto/sha256_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/sha256_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/sha256_test.cpp.o.d"
+  "/root/repo/tests/crypto/xtea_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/xtea_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/xtea_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocols/CMakeFiles/tc_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bt/CMakeFiles/tc_bt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/tc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_tests.dir/crypto/chacha20_test.cpp.o"
+  "CMakeFiles/crypto_tests.dir/crypto/chacha20_test.cpp.o.d"
+  "CMakeFiles/crypto_tests.dir/crypto/cipher_test.cpp.o"
+  "CMakeFiles/crypto_tests.dir/crypto/cipher_test.cpp.o.d"
+  "CMakeFiles/crypto_tests.dir/crypto/hmac_test.cpp.o"
+  "CMakeFiles/crypto_tests.dir/crypto/hmac_test.cpp.o.d"
+  "CMakeFiles/crypto_tests.dir/crypto/sha256_test.cpp.o"
+  "CMakeFiles/crypto_tests.dir/crypto/sha256_test.cpp.o.d"
+  "CMakeFiles/crypto_tests.dir/crypto/xtea_test.cpp.o"
+  "CMakeFiles/crypto_tests.dir/crypto/xtea_test.cpp.o.d"
+  "crypto_tests"
+  "crypto_tests.pdb"
+  "crypto_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_tests.dir/protocols/baselines_test.cpp.o"
+  "CMakeFiles/protocol_tests.dir/protocols/baselines_test.cpp.o.d"
+  "CMakeFiles/protocol_tests.dir/protocols/indirect_test.cpp.o"
+  "CMakeFiles/protocol_tests.dir/protocols/indirect_test.cpp.o.d"
+  "CMakeFiles/protocol_tests.dir/protocols/tchain_departure_test.cpp.o"
+  "CMakeFiles/protocol_tests.dir/protocols/tchain_departure_test.cpp.o.d"
+  "CMakeFiles/protocol_tests.dir/protocols/tchain_test.cpp.o"
+  "CMakeFiles/protocol_tests.dir/protocols/tchain_test.cpp.o.d"
+  "protocol_tests"
+  "protocol_tests.pdb"
+  "protocol_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
