@@ -9,8 +9,10 @@
 //   4. A releases the key; B decrypts and verifies the piece hash.
 //
 // Three threads play A, B and C as separate socket endpoints; every
-// protocol byte crosses a real TCP connection.
-#include <cassert>
+// protocol byte crosses a real TCP connection. Receive timeouts
+// (--timeout, default 10 s) make a wedged or dead peer a printed error
+// and a nonzero exit instead of a hang or a SIGPIPE death.
+#include <atomic>
 #include <iostream>
 #include <thread>
 
@@ -33,12 +35,28 @@ util::Bytes make_piece(std::size_t len, std::uint8_t tag) {
   return b;
 }
 
+std::atomic<int> g_failures{0};
+
+// Runs one endpoint's script; any socket error (timeout, peer gone,
+// unexpected message) fails that endpoint cleanly instead of taking the
+// process down.
+template <typename Fn>
+void endpoint(const char* who, Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::exception& e) {
+    std::cerr << "[" << who << "] FAILED: " << e.what() << "\n";
+    ++g_failures;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   const auto piece_bytes =
       static_cast<std::size_t>(flags.get_int("piece-kb", 64)) * 1024;
+  const double timeout = flags.get_double("timeout", 10.0);
 
   const auto cipher = crypto::make_cipher(crypto::CipherKind::kChaCha20);
   const auto piece1 = make_piece(piece_bytes, 0xA1);
@@ -53,82 +71,96 @@ int main(int argc, char** argv) {
 
   // --- A: donor -------------------------------------------------------------
   std::thread thread_a([&] {
-    crypto::KeySource keys(0xA);
-    core::DonorSession donor(kTx1, /*chain=*/1, kA, kB, kC, kPiece1,
-                             net::kNoPeer, net::kNoPiece, piece1, *cipher,
-                             keys);
-    // 1) upload encrypted piece to B.
-    auto to_b = net::FrameSocket::connect_to("127.0.0.1", b_in.port());
-    to_b.send_message(net::Message{donor.offer()});
-    std::cout << "[A] sent K[p1] to B, payee = C\n";
+    endpoint("A", [&] {
+      crypto::KeySource keys(0xA);
+      core::DonorSession donor(kTx1, /*chain=*/1, kA, kB, kC, kPiece1,
+                               net::kNoPeer, net::kNoPiece, piece1, *cipher,
+                               keys);
+      // 1) upload encrypted piece to B.
+      auto to_b =
+          net::FrameSocket::connect_to("127.0.0.1", b_in.port(), timeout);
+      to_b.send_message(net::Message{donor.offer()});
+      std::cout << "[A] sent K[p1] to B, payee = C\n";
 
-    // 4) wait for C's receipt, verify, release key.
-    auto from_c = a_in.accept();
-    const auto msg = from_c.recv_message();
-    assert(msg.has_value());
-    const auto& receipt = std::get<net::ReceiptMsg>(*msg);
-    if (!donor.accept_receipt(receipt)) {
-      std::cerr << "[A] receipt REJECTED\n";
-      return;
-    }
-    std::cout << "[A] receipt from C verified (HMAC ok), releasing key\n";
-    to_b.send_message(net::Message{donor.key_release()});
+      // 4) wait for C's receipt, verify, release key.
+      auto from_c = a_in.accept();
+      from_c.set_recv_timeout(timeout);
+      const auto msg = from_c.recv_message();
+      if (!msg) throw std::runtime_error("C hung up before sending a receipt");
+      const auto& receipt = std::get<net::ReceiptMsg>(*msg);
+      if (!donor.accept_receipt(receipt))
+        throw std::runtime_error("receipt REJECTED (bad HMAC)");
+      std::cout << "[A] receipt from C verified (HMAC ok), releasing key\n";
+      to_b.send_message(net::Message{donor.key_release()});
+    });
   });
 
   // --- B: requestor ------------------------------------------------------------
   std::thread thread_b([&] {
-    auto from_a = b_in.accept();
-    const auto offer_msg = from_a.recv_message();
-    assert(offer_msg.has_value());
-    const auto& offer = std::get<net::EncryptedPieceMsg>(*offer_msg);
-    core::RequestorSession requestor(offer);
-    std::cout << "[B] got encrypted piece " << offer.piece
-              << " (useless without key), must reciprocate to peer "
-              << offer.payee << "\n";
+    endpoint("B", [&] {
+      auto from_a = b_in.accept();
+      from_a.set_recv_timeout(timeout);
+      const auto offer_msg = from_a.recv_message();
+      if (!offer_msg) throw std::runtime_error("A hung up before the offer");
+      const auto& offer = std::get<net::EncryptedPieceMsg>(*offer_msg);
+      core::RequestorSession requestor(offer);
+      std::cout << "[B] got encrypted piece " << offer.piece
+                << " (useless without key), must reciprocate to peer "
+                << offer.payee << "\n";
 
-    // 2) reciprocate: newcomer forward of the pending ciphertext,
-    // re-encrypted under B's own key (§II-D1).
-    crypto::KeySource keys(0xB);
-    core::DonorSession b_donor(kTx2, /*chain=*/1, kB, kC, /*payee=*/kB,
-                               kPiece2, /*prev_donor=*/kA,
-                               /*prev_piece=*/kPiece1, requestor.ciphertext(),
-                               *cipher, keys);
-    auto to_c = net::FrameSocket::connect_to("127.0.0.1", c_in.port());
-    to_c.send_message(net::Message{b_donor.offer()});
-    std::cout << "[B] reciprocated: uploaded K'[p2] to C\n";
+      // 2) reciprocate: newcomer forward of the pending ciphertext,
+      // re-encrypted under B's own key (§II-D1).
+      crypto::KeySource keys(0xB);
+      core::DonorSession b_donor(kTx2, /*chain=*/1, kB, kC, /*payee=*/kB,
+                                 kPiece2, /*prev_donor=*/kA,
+                                 /*prev_piece=*/kPiece1, requestor.ciphertext(),
+                                 *cipher, keys);
+      auto to_c =
+          net::FrameSocket::connect_to("127.0.0.1", c_in.port(), timeout);
+      to_c.send_message(net::Message{b_donor.offer()});
+      std::cout << "[B] reciprocated: uploaded K'[p2] to C\n";
 
-    // 4b) receive the key from A, decrypt, verify hash.
-    const auto key_msg = from_a.recv_message();
-    assert(key_msg.has_value());
-    const auto plain = requestor.complete(std::get<net::KeyReleaseMsg>(*key_msg),
-                                          *cipher, piece1_hash);
-    if (plain.has_value()) {
+      // 4b) receive the key from A, decrypt, verify hash.
+      const auto key_msg = from_a.recv_message();
+      if (!key_msg)
+        throw std::runtime_error("A hung up before releasing the key");
+      const auto plain = requestor.complete(
+          std::get<net::KeyReleaseMsg>(*key_msg), *cipher, piece1_hash);
+      if (!plain) throw std::runtime_error("decryption FAILED");
       std::cout << "[B] key received; piece decrypted and hash VERIFIED ("
                 << plain->size() << " bytes)\n";
-    } else {
-      std::cerr << "[B] decryption FAILED\n";
-    }
+    });
   });
 
   // --- C: payee ---------------------------------------------------------------
   std::thread thread_c([&] {
-    auto from_b = c_in.accept();
-    const auto msg = from_b.recv_message();
-    assert(msg.has_value());
-    const auto& reciprocation = std::get<net::EncryptedPieceMsg>(*msg);
-    std::cout << "[C] received B's reciprocation (for tx of donor "
-              << reciprocation.prev_donor << "), reporting to A\n";
+    endpoint("C", [&] {
+      auto from_b = c_in.accept();
+      from_b.set_recv_timeout(timeout);
+      const auto msg = from_b.recv_message();
+      if (!msg)
+        throw std::runtime_error("B hung up before the reciprocation");
+      const auto& reciprocation = std::get<net::EncryptedPieceMsg>(*msg);
+      std::cout << "[C] received B's reciprocation (for tx of donor "
+                << reciprocation.prev_donor << "), reporting to A\n";
 
-    // 3) authenticated reception report to A.
-    const auto receipt =
-        core::PayeeSession::make_receipt(reciprocation, kA, kTx1);
-    auto to_a = net::FrameSocket::connect_to("127.0.0.1", a_in.port());
-    to_a.send_message(net::Message{receipt});
+      // 3) authenticated reception report to A.
+      const auto receipt =
+          core::PayeeSession::make_receipt(reciprocation, kA, kTx1);
+      auto to_a =
+          net::FrameSocket::connect_to("127.0.0.1", a_in.port(), timeout);
+      to_a.send_message(net::Message{receipt});
+    });
   });
 
   thread_a.join();
   thread_b.join();
   thread_c.join();
+  if (g_failures.load() > 0) {
+    std::cerr << "triangle INCOMPLETE: " << g_failures.load()
+              << " endpoint(s) failed.\n";
+    return 1;
+  }
   std::cout << "triangle complete: almost-fair exchange settled.\n";
   return 0;
 }

@@ -44,6 +44,23 @@ struct PieceTimeline {
   std::vector<std::pair<SimTime, std::uint32_t>> completed;  // key received
 };
 
+// Aggregate resilience counters: how much injected failure a run absorbed
+// (src/sim/faults.*) and what recovering from it cost. Swarm-level fields
+// are filled by the swarm; transaction-level ones by the protocol.
+struct ResilienceStats {
+  // Injected failure events.
+  std::uint64_t crashes = 0;            // abrupt exits, no escrow handoff
+  std::uint64_t churn_departures = 0;   // graceful mid-download leaves
+  std::uint64_t control_sent = 0;       // control-plane messages attempted
+  std::uint64_t control_dropped = 0;    // ... of which silently lost
+  std::uint64_t upload_outages = 0;     // transient zero-capacity intervals
+  // Recovery outcomes.
+  std::uint64_t transactions_timed_out = 0;  // watchdog gave up on a tx
+  std::uint64_t keys_lost = 0;               // ciphertext abandoned, no key
+  std::uint64_t keys_escrow_recovered = 0;   // escrowed key reached requestor
+  std::uint64_t piece_refetches = 0;         // piece re-requested elsewhere
+};
+
 class SwarmMetrics {
  public:
   // Creates the record on first touch.
@@ -55,6 +72,9 @@ class SwarmMetrics {
   void rekey(std::uint32_t old_id, std::uint32_t new_id);
 
   std::vector<const PeerRecord*> all() const;
+
+  ResilienceStats& resilience() { return resilience_; }
+  const ResilienceStats& resilience() const { return resilience_; }
 
   // --- Figure 5 support -------------------------------------------------
   void enable_piece_trace(std::uint32_t id);
@@ -92,6 +112,7 @@ class SwarmMetrics {
   std::unordered_map<std::uint32_t, std::size_t> index_;  // id -> slot
   std::vector<PeerRecord> records_;
   std::unordered_map<std::uint32_t, PieceTimeline> timelines_;
+  ResilienceStats resilience_;
 };
 
 // Kumar/Ross-style lower bound on mean completion time for a homogeneous

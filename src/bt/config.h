@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/sim/faults.h"
 #include "src/util/units.h"
 
 namespace tc::bt {
@@ -54,6 +55,18 @@ struct SwarmConfig {
   bool opportunistic_seeding = true;    // §II-D3
   bool allow_direct_reciprocity = true; // ablation: force indirect payees
   std::size_t seeder_chain_slots = 8;  // concurrent chains the seeder feeds
+
+  // --- Fault injection / robustness -------------------------------------------
+  // All faults default OFF; a default FaultPlan leaves every run
+  // bit-identical to a fault-free build (the injector is never consulted).
+  sim::FaultPlan faults;
+  // Per-transaction watchdog (0 = disabled): a T-Chain exchange stuck
+  // awaiting its key or reciprocation for this long is re-kicked up to
+  // tx_max_retries times, then torn down so the piece can be re-fetched
+  // from another donor. Enable alongside faults; without it a lost control
+  // message waits for the coarse global_stall_timeout valve.
+  double tx_timeout = 0.0;
+  int tx_max_retries = 2;
 
   // --- Scenario variants ------------------------------------------------------
   // Fig 13: a finished leecher is replaced by a fresh newcomer immediately.

@@ -33,6 +33,10 @@ class Protocol {
   // Fires for finish-departures, attrition, and the old identity of a
   // whitewash. Peer state is still readable during the call.
   virtual void on_peer_depart(PeerId) {}
+  // Abrupt failure: the peer vanished without a goodbye — no final
+  // messages, no escrow handoff (fault injection / crash churn). Defaults
+  // to the graceful-departure path for protocols that don't distinguish.
+  virtual void on_peer_crash(PeerId id) { on_peer_depart(id); }
   // Whitewash: `fresh` is the new identity of the logical peer that was
   // `old`. Called after on_peer_depart(old) and before on_peer_join(fresh).
   virtual void on_peer_rekeyed(PeerId old_id, PeerId fresh) {

@@ -13,9 +13,20 @@ Swarm::Swarm(SwarmConfig cfg, Protocol& proto, std::vector<SimTime> arrival_time
       proto_(proto),
       bw_(sim_),
       rng_(cfg_.seed),
+      faults_(cfg_.faults, cfg_.seed),
       tracker_(cfg_.tracker_list_size),
       piece_count_(cfg_.piece_count()) {
   if (piece_count_ == 0) throw std::invalid_argument("empty file");
+  if (cfg_.faults.churn()) {
+    using SK = sim::FaultPlan::SessionKind;
+    if (cfg_.faults.session_kind == SK::kExponential) {
+      sessions_ =
+          std::make_unique<trace::ExponentialSessions>(cfg_.faults.mean_session);
+    } else {
+      sessions_ = std::make_unique<trace::LogNormalSessions>(
+          cfg_.faults.mean_session, cfg_.faults.session_sigma);
+    }
+  }
   arrivals_ = std::move(arrival_times);
   if (arrivals_.empty()) {
     // Paper §IV-A: flash crowd, all leechers join within the first 10 s.
@@ -248,8 +259,80 @@ void Swarm::grant_piece(PeerId to, PieceIndex piece, PeerId from) {
   }
 }
 
-void Swarm::send_control(std::function<void()> fn) {
+void Swarm::send_control(std::function<void()> fn,
+                         std::function<void()> on_lost) {
+  ++metrics_.resilience().control_sent;
+  if (faults_.plan().control_faults()) {
+    if (faults_.drop_control()) {
+      ++metrics_.resilience().control_dropped;
+      if (on_lost) {
+        const double wait = std::max(cfg_.tx_timeout, cfg_.control_latency);
+        sim_.schedule_in(wait, std::move(on_lost));
+      }
+      return;
+    }
+    sim_.schedule_in(cfg_.control_latency + faults_.control_delay(),
+                     std::move(fn));
+    return;
+  }
   sim_.schedule_in(cfg_.control_latency, std::move(fn));
+}
+
+void Swarm::arm_faults(PeerId id) {
+  const Peer* p = peer(id);
+  if (p == nullptr || p->seeder) return;
+  if (sessions_) schedule_session_end(id);
+  if (faults_.plan().outages()) schedule_next_outage(id);
+}
+
+void Swarm::schedule_session_end(PeerId id) {
+  // Draws happen at scheduling time so the fault stream's consumption
+  // order is a pure function of join order (determinism guard).
+  const SimTime dur = sessions_->duration(faults_.rng());
+  const bool crash = faults_.crash_on_exit();
+  sim_.schedule_in(dur, [this, id, crash] {
+    const Peer* p = peer(id);
+    if (p == nullptr || !p->active || p->seeder) return;
+    if (p->have.complete()) return;  // finishing departs on its own
+    if (crash) {
+      ++metrics_.resilience().crashes;
+    } else {
+      ++metrics_.resilience().churn_departures;
+    }
+    depart(id, crash ? DepartKind::kCrash : DepartKind::kGraceful);
+  });
+}
+
+void Swarm::schedule_next_outage(PeerId id) {
+  const SimTime gap = faults_.outage_gap();
+  sim_.schedule_in(gap, [this, id] { begin_outage(id); });
+}
+
+void Swarm::begin_outage(PeerId id) {
+  const Peer* p = peer(id);
+  if (p == nullptr || !p->active) return;
+  const double cap = bw_.capacity(id);
+  if (cap <= 0.0 || outage_saved_.count(id) > 0) {
+    // Nothing to darken (free-rider pipe) — keep the process alive anyway.
+    schedule_next_outage(id);
+    return;
+  }
+  ++metrics_.resilience().upload_outages;
+  outage_saved_[id] = cap;
+  bw_.set_capacity(id, 0.0);
+  const SimTime dur = faults_.outage_duration();
+  sim_.schedule_in(dur, [this, id] { end_outage(id); });
+}
+
+void Swarm::end_outage(PeerId id) {
+  const auto it = outage_saved_.find(id);
+  if (it == outage_saved_.end()) return;  // identity rekeyed away
+  const double cap = it->second;
+  outage_saved_.erase(it);
+  if (is_active(id)) {
+    bw_.set_capacity(id, cap);
+    schedule_next_outage(id);
+  }
 }
 
 void Swarm::finish_peer(PeerId id) {
@@ -296,15 +379,30 @@ void Swarm::finish_peer(PeerId id) {
     if (!was_freerider) ++compliant_outstanding_;
     setup_peer_links(fresh);
     proto_.on_peer_join(fresh);
+    arm_faults(fresh);
   }
   check_done();
 }
 
-void Swarm::depart(PeerId id) {
+void Swarm::depart(PeerId id, DepartKind kind) {
   Peer* p = peer(id);
   if (!p || !p->active) return;
   p->active = false;
   metrics_.record(id).depart_time = sim_.now();
+
+  // A mid-download departure (churn, chaos testing) leaves the file
+  // unfinished; release its completion slot so the run can end without
+  // waiting for the stall valve. Finish-departures decrement in
+  // finish_peer, after this call, once the record is marked finished.
+  if (!p->seeder && !p->have.complete()) {
+    if (!p->freerider) {
+      if (compliant_outstanding_ > 0) --compliant_outstanding_;
+      if (compliant_outstanding_ == 0)
+        last_freerider_progress_ = std::max(last_freerider_progress_, sim_.now());
+    } else if (freerider_outstanding_ > 0) {
+      --freerider_outstanding_;
+    }
+  }
 
   const std::vector<PeerId> nbrs = p->neighbors;
   for (PeerId n : nbrs) disconnect(id, n);
@@ -329,9 +427,14 @@ void Swarm::depart(PeerId id) {
   }
   flows_to_.erase(id);
 
-  proto_.on_peer_depart(id);
+  if (kind == DepartKind::kCrash) {
+    proto_.on_peer_crash(id);
+  } else {
+    proto_.on_peer_depart(id);
+  }
   tracker_.depart(id);
   if (!p->seeder && active_leechers_ > 0) --active_leechers_;
+  check_done();
 }
 
 PeerId Swarm::whitewash(PeerId id) {
@@ -375,12 +478,20 @@ PeerId Swarm::whitewash(PeerId id) {
   avail_.erase(id);
   avail_[fresh].assign(piece_count_, 0);
   metrics_.rekey(id, fresh);
-  bw_.set_capacity(fresh, bw_.capacity(id));
+  // If the old identity was mid-outage, the fresh one starts with the
+  // real (pre-outage) capacity; the pending end-outage event dies.
+  if (const auto out = outage_saved_.find(id); out != outage_saved_.end()) {
+    bw_.set_capacity(fresh, out->second);
+    outage_saved_.erase(out);
+  } else {
+    bw_.set_capacity(fresh, bw_.capacity(id));
+  }
   tracker_.announce(fresh);
 
   proto_.on_peer_rekeyed(id, fresh);
   setup_peer_links(fresh);
   proto_.on_peer_join(fresh);
+  arm_faults(fresh);
   return fresh;
 }
 
@@ -488,6 +599,7 @@ void Swarm::join_leecher(std::size_t arrival_index, SimTime now) {
 
   setup_peer_links(id);
   proto_.on_peer_join(id);
+  arm_faults(id);
 }
 
 void Swarm::check_done() {

@@ -17,10 +17,16 @@
 #include "src/bt/protocol.h"
 #include "src/net/tracker.h"
 #include "src/sim/bandwidth.h"
+#include "src/sim/faults.h"
 #include "src/sim/simulator.h"
+#include "src/trace/arrival.h"
 #include "src/util/rng.h"
 
 namespace tc::bt {
+
+// How a peer leaves: gracefully (final messages sent, §II-B4 escrow
+// handoff possible) or by crashing (it just vanishes).
+enum class DepartKind { kGraceful, kCrash };
 
 class Swarm {
  public:
@@ -37,6 +43,7 @@ class Swarm {
   // --- Accessors ------------------------------------------------------------
   sim::Simulator& simulator() { return sim_; }
   sim::BandwidthModel& bandwidth() { return bw_; }
+  sim::FaultInjector& faults() { return faults_; }
   util::Rng& rng() { return rng_; }
   const SwarmConfig& config() const { return cfg_; }
   analysis::SwarmMetrics& metrics() { return metrics_; }
@@ -87,11 +94,15 @@ class Swarm {
   void grant_piece(PeerId to, PieceIndex piece, PeerId from);
 
   // Control-plane message (receipt, key, reassignment): runs `fn` after
-  // cfg.control_latency simulated seconds.
-  void send_control(std::function<void()> fn);
+  // cfg.control_latency simulated seconds (plus fault jitter). Under an
+  // active FaultPlan the message may be silently dropped; `on_lost`, if
+  // given, then runs after the sender-side detection delay
+  // (max(tx_timeout, control_latency)) to model timeout-based recovery.
+  void send_control(std::function<void()> fn,
+                    std::function<void()> on_lost = {});
 
   // --- Lifecycle / attacks -----------------------------------------------------
-  void depart(PeerId p);
+  void depart(PeerId p, DepartKind kind = DepartKind::kGraceful);
   // Identity change keeping download state; returns the new id.
   PeerId whitewash(PeerId p);
 
@@ -105,6 +116,13 @@ class Swarm {
  private:
   PeerId allocate_id() { return next_id_++; }
   void join_leecher(std::size_t arrival_index, SimTime now);
+  // Arms the per-peer fault machinery (session clock, outage process) for
+  // a freshly joined identity. No-op when the plan has them off.
+  void arm_faults(PeerId id);
+  void schedule_session_end(PeerId id);
+  void schedule_next_outage(PeerId id);
+  void begin_outage(PeerId id);
+  void end_outage(PeerId id);
   void setup_peer_links(PeerId id);
   void schedule_maintenance(PeerId id);
   void maintenance_tick(PeerId id);
@@ -117,8 +135,12 @@ class Swarm {
   sim::Simulator sim_;
   sim::BandwidthModel bw_;
   util::Rng rng_;
+  sim::FaultInjector faults_;
+  std::unique_ptr<trace::SessionModel> sessions_;  // null: no churn
   net::Tracker tracker_;
   analysis::SwarmMetrics metrics_;
+  // Pre-outage upload capacity of peers currently dark.
+  std::unordered_map<PeerId, double> outage_saved_;
 
   std::size_t piece_count_ = 0;
   PeerId seeder_id_ = net::kNoPeer;

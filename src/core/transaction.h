@@ -45,6 +45,11 @@ struct Transaction {
   // Donor departed after delivery; the key is escrowed with the payee, who
   // releases it directly upon reciprocation (§II-B4).
   bool key_escrowed = false;
+  // The reciprocation upload (`next`) delivered its piece, so a receipt is
+  // owed to this transaction's donor. Lets the per-transaction watchdog
+  // tell "receipt lost in transit" (re-send it) from "reciprocation never
+  // happened" (re-kick the chain).
+  bool next_delivered = false;
   util::SimTime started = 0.0;
 
   bool encrypted() const { return payee != net::kNoPeer; }

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -18,12 +19,25 @@ namespace {
   throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
 }
 
+timeval to_timeval(double seconds) {
+  if (seconds < 0) seconds = 0;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec =
+      static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  return tv;
+}
+
+// MSG_NOSIGNAL: a peer that closed mid-frame must come back as EPIPE,
+// not as a fatal SIGPIPE.
 void write_all(int fd, const std::uint8_t* data, std::size_t len) {
   while (len > 0) {
-    const ssize_t n = ::write(fd, data, len);
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw_errno("write");
+      if (errno == EPIPE)
+        throw std::runtime_error("send: peer closed connection");
+      throw_errno("send");
     }
     data += n;
     len -= static_cast<std::size_t>(n);
@@ -37,6 +51,8 @@ bool read_all(int fd, std::uint8_t* data, std::size_t len) {
     const ssize_t n = ::read(fd, data + got, len - got);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw std::runtime_error("read: timed out waiting for peer");
       throw_errno("read");
     }
     if (n == 0) {
@@ -70,6 +86,13 @@ void FrameSocket::close() {
     ::close(fd_);
     fd_ = -1;
   }
+}
+
+void FrameSocket::set_recv_timeout(double seconds) {
+  if (!valid()) throw std::runtime_error("set_recv_timeout on closed socket");
+  const timeval tv = to_timeval(seconds);  // zero = block indefinitely
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0)
+    throw_errno("setsockopt(SO_RCVTIMEO)");
 }
 
 void FrameSocket::send_frame(const util::Bytes& payload) {
@@ -106,9 +129,16 @@ std::optional<Message> FrameSocket::recv_message() {
 }
 
 FrameSocket FrameSocket::connect_to(const std::string& host,
-                                    std::uint16_t port) {
+                                    std::uint16_t port,
+                                    double timeout_seconds) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket");
+  if (timeout_seconds > 0) {
+    // SO_SNDTIMEO bounds the three-way handshake on Linux: connect()
+    // fails with EINPROGRESS/EWOULDBLOCK once the timer expires.
+    const timeval tv = to_timeval(timeout_seconds);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -119,8 +149,15 @@ FrameSocket FrameSocket::connect_to(const std::string& host,
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     const int saved = errno;
     ::close(fd);
+    if (saved == EINPROGRESS || saved == EWOULDBLOCK || saved == EAGAIN)
+      throw std::runtime_error("connect: timed out");
     errno = saved;
     throw_errno("connect");
+  }
+  if (timeout_seconds > 0) {
+    // The timeout was for the handshake only; sends block normally again.
+    const timeval off = to_timeval(0);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &off, sizeof(off));
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));

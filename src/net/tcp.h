@@ -29,7 +29,14 @@ class FrameSocket {
   bool valid() const { return fd_ >= 0; }
   void close();
 
-  // Blocking. Throws std::runtime_error on I/O failure.
+  // Caps how long recv_frame may block (SO_RCVTIMEO); an expired wait
+  // throws std::runtime_error mentioning "timed out" instead of hanging
+  // forever on a silent peer. seconds <= 0 restores indefinite blocking.
+  void set_recv_timeout(double seconds);
+
+  // Blocking. Throws std::runtime_error on I/O failure. Writes use
+  // MSG_NOSIGNAL, so a peer that vanished mid-exchange surfaces as an
+  // exception (EPIPE), never as a process-killing SIGPIPE.
   void send_frame(const util::Bytes& payload);
   // Returns nullopt on orderly peer shutdown.
   std::optional<util::Bytes> recv_frame();
@@ -37,7 +44,9 @@ class FrameSocket {
   void send_message(const Message& m) { send_frame(encode_message(m)); }
   std::optional<Message> recv_message();
 
-  static FrameSocket connect_to(const std::string& host, std::uint16_t port);
+  // timeout_seconds > 0 bounds the connect attempt; 0 blocks indefinitely.
+  static FrameSocket connect_to(const std::string& host, std::uint16_t port,
+                                double timeout_seconds = 0.0);
 
  private:
   int fd_ = -1;

@@ -44,15 +44,22 @@ void TChainProtocol::on_peer_join(PeerId id) {
                                   [this, id] { opp_loop(id); });
 }
 
-void TChainProtocol::on_peer_depart(PeerId id) {
+void TChainProtocol::on_peer_depart(PeerId id) { handle_exit(id, false); }
+
+void TChainProtocol::on_peer_crash(PeerId id) { handle_exit(id, true); }
+
+void TChainProtocol::handle_exit(PeerId id, bool crashed) {
   // Settle every transaction the departing peer participates in (§II-B4).
+  // A graceful donor hands escrowed keys to payees on the way out; a
+  // crashed donor takes its keys with it.
   for (const TxId txid : txs_.involving(id)) {
     Transaction* tx = txs_.get(txid);
     if (tx == nullptr) continue;
 
     if (tx->donor == id) {
-      if (tx->state == TxState::kAwaitKey && tx->payee != net::kNoPeer &&
-          tx->payee != id && swarm_->is_active(tx->payee)) {
+      if (!crashed && tx->state == TxState::kAwaitKey &&
+          tx->payee != net::kNoPeer && tx->payee != id &&
+          swarm_->is_active(tx->payee)) {
         // Donor hands the key to the payee on its way out; the payee will
         // release it upon reciprocation.
         tx->key_escrowed = true;
@@ -316,6 +323,7 @@ void TChainProtocol::on_upload_done(TxId txid, bool ok) {
     swarm_->grant_piece(tx->requestor, tx->piece, tx->donor);
     chains_.terminate(chain, swarm_->simulator().now());
     if (prev != 0) {
+      if (Transaction* pv = txs_.get(prev)) pv->next_delivered = true;
       swarm_->send_control(
           [this, prev] { process_receipt(prev, /*false_receipt=*/false); });
     }
@@ -326,6 +334,7 @@ void TChainProtocol::on_upload_done(TxId txid, bool ok) {
 void TChainProtocol::handle_encrypted_delivery(Transaction& tx) {
   tx.state = TxState::kAwaitKey;
   ++state(tx.requestor).obligations;
+  arm_watchdog(tx.id, 0);
   if (swarm_->metrics().tracing(tx.requestor)) {
     swarm_->metrics().trace_encrypted(tx.requestor, tx.piece,
                                       swarm_->simulator().now());
@@ -335,6 +344,7 @@ void TChainProtocol::handle_encrypted_delivery(Transaction& tx) {
   // requestor (payee of prev) reports the receipt to prev's donor.
   if (tx.prev != 0) {
     const TxId prev = tx.prev;
+    if (Transaction* pv = txs_.get(prev)) pv->next_delivered = true;
     swarm_->send_control(
         [this, prev] { process_receipt(prev, /*false_receipt=*/false); });
   }
@@ -399,6 +409,10 @@ void TChainProtocol::process_receipt(TxId prev_id, bool false_receipt) {
     kill_tx(prev_id, /*terminate_chain=*/false);
     return;
   }
+  if (prev->key_escrowed) {
+    ++stats_.keys_escrow_released;
+    ++swarm_->metrics().resilience().keys_escrow_recovered;
+  }
   (void)false_receipt;
   release_key(*prev, releaser);
 }
@@ -415,11 +429,26 @@ void TChainProtocol::release_key(Transaction& tx, PeerId releaser) {
   }
   tx.state = TxState::kCompleted;
   txs_.erase(txid);
-  swarm_->send_control([this, requestor, piece, donor] {
-    if (swarm_->is_active(requestor)) {
-      swarm_->grant_piece(requestor, piece, donor);
-    }
-  });
+  swarm_->send_control(
+      [this, requestor, piece, donor] {
+        if (swarm_->is_active(requestor)) {
+          swarm_->grant_piece(requestor, piece, donor);
+        }
+      },
+      /*on_lost=*/[this, requestor, piece] {
+        // The key-release message itself was lost. The requestor's wait
+        // times out; it abandons the ciphertext and re-requests the piece
+        // from another donor.
+        ++stats_.keys_lost;
+        ++swarm_->metrics().resilience().keys_lost;
+        bt::Peer* r = swarm_->peer(requestor);
+        if (r != nullptr && r->active && !r->have.get(piece) &&
+            r->requested.get(piece)) {
+          r->requested.clear(piece);
+          ++stats_.piece_refetches;
+          ++swarm_->metrics().resilience().piece_refetches;
+        }
+      });
 }
 
 void TChainProtocol::continue_chain(TxId txid) {
@@ -516,6 +545,11 @@ void TChainProtocol::kill_tx(TxId txid, bool terminate_chain) {
     }
   }
   if (tx->state == TxState::kAwaitKey) {
+    // A delivered ciphertext dies un-keyed: the key is lost to this
+    // requestor however the transaction got here (donor crash, departed
+    // payee, watchdog giving up).
+    ++stats_.keys_lost;
+    ++swarm_->metrics().resilience().keys_lost;
     if (auto it = peers_.find(tx->requestor); it != peers_.end()) {
       if (it->second.obligations > 0) --it->second.obligations;
     }
@@ -523,10 +557,64 @@ void TChainProtocol::kill_tx(TxId txid, bool terminate_chain) {
     if (bt::Peer* r = swarm_->peer(tx->requestor);
         r != nullptr && !r->have.get(tx->piece)) {
       r->requested.clear(tx->piece);
+      if (r->active) {
+        ++stats_.piece_refetches;
+        ++swarm_->metrics().resilience().piece_refetches;
+      }
     }
   }
   if (terminate_chain) chains_.terminate(tx->chain, swarm_->simulator().now());
   txs_.erase(txid);
+}
+
+void TChainProtocol::arm_watchdog(TxId txid, int retries) {
+  const double timeout = swarm_->config().tx_timeout;
+  if (timeout <= 0.0) return;
+  swarm_->simulator().schedule_in(
+      timeout, [this, txid, retries] { watchdog_fire(txid, retries); });
+}
+
+void TChainProtocol::watchdog_fire(TxId txid, int retries) {
+  Transaction* tx = txs_.get(txid);
+  if (tx == nullptr || tx->state != TxState::kAwaitKey) return;  // settled
+
+  // Reciprocation upload still in flight: progress, not a stall (a slow or
+  // outage-stalled flow either completes or aborts on its own).
+  if (tx->next != 0 && txs_.get(tx->next) != nullptr) {
+    arm_watchdog(txid, retries);
+    return;
+  }
+
+  // A free-riding requestor stalling forever is the §II-D2 sanction at
+  // work, not a fault to recover from (only collusion leaves such a tx in
+  // AwaitKey; the plain free-rider path erased it at swallow time).
+  if (const bt::Peer* r = swarm_->peer(tx->requestor);
+      r != nullptr && r->freerider) {
+    return;
+  }
+
+  if (retries < swarm_->config().tx_max_retries) {
+    ++stats_.tx_retries;
+    if (tx->next_delivered) {
+      // The reciprocation piece arrived but our receipt evidently did not:
+      // the payee re-sends it (receipt retransmission).
+      ++stats_.receipts_resent;
+      swarm_->send_control(
+          [this, txid] { process_receipt(txid, /*false_receipt=*/false); });
+    } else {
+      // Reciprocation never got going — lost reassignment trigger, payee
+      // gone, aborted upload. Re-kick the chain continuation.
+      continue_chain(txid);
+    }
+    arm_watchdog(txid, retries + 1);
+    return;
+  }
+
+  // Retries exhausted: tear the exchange down. Pending counts resolve, the
+  // requestor's claim clears, and the piece is re-requested elsewhere.
+  ++stats_.tx_timeouts;
+  ++swarm_->metrics().resilience().transactions_timed_out;
+  kill_tx(txid, /*terminate_chain=*/true);
 }
 
 }  // namespace tc::protocols

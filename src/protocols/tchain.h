@@ -42,6 +42,7 @@ class TChainProtocol : public bt::Protocol {
   void on_run_start() override;
   void on_peer_join(PeerId id) override;
   void on_peer_depart(PeerId id) override;
+  void on_peer_crash(PeerId id) override;
 
   // --- Introspection for benches/tests -------------------------------------
   const core::ChainRegistry& chains() const { return chains_; }
@@ -55,11 +56,18 @@ class TChainProtocol : public bt::Protocol {
     std::uint64_t false_receipts = 0;     // collusion attack
     std::uint64_t keys_released = 0;
     std::uint64_t keys_escrowed = 0;      // donor departed, payee held key
+    std::uint64_t keys_escrow_released = 0;  // ... and the payee released it
+    std::uint64_t keys_lost = 0;          // AwaitKey died: key never arrived
     std::uint64_t bootstrap_forwards = 0; // newcomer forwarded its pending piece
     std::uint64_t payee_reassignments = 0;
     std::uint64_t free_key_settlements = 0;  // no payee found: key gratis
     std::uint64_t direct_payees = 0;
     std::uint64_t indirect_payees = 0;
+    // Per-transaction watchdog (cfg.tx_timeout > 0).
+    std::uint64_t tx_retries = 0;         // stalled exchange re-kicked
+    std::uint64_t tx_timeouts = 0;        // retries exhausted, tx torn down
+    std::uint64_t receipts_resent = 0;    // receipt presumed lost, re-sent
+    std::uint64_t piece_refetches = 0;    // abandoned ciphertext re-requested
   };
   const Stats& stats() const { return stats_; }
 
@@ -97,6 +105,18 @@ class TChainProtocol : public bt::Protocol {
   void on_upload_done(TxId txid, bool ok);
   void handle_encrypted_delivery(core::Transaction& tx);
   void process_receipt(TxId prev_id, bool false_receipt);
+
+  // Shared graceful/crash departure settlement; a crash forfeits the
+  // §II-B4 escrow handoff (the donor is not around to hand the key over).
+  void handle_exit(PeerId id, bool crashed);
+
+  // Per-transaction watchdog (§II-B4 hardening): armed when a tx enters
+  // AwaitKey; re-kicks a stalled exchange (lost receipt / lost
+  // reassignment trigger) up to cfg.tx_max_retries times, then tears it
+  // down so the requestor can re-fetch the piece elsewhere. Disabled when
+  // cfg.tx_timeout == 0.
+  void arm_watchdog(TxId txid, int retries);
+  void watchdog_fire(TxId txid, int retries);
 
   // Ensures tx (AwaitKey) eventually gets reciprocated: (re)starts the
   // reciprocation upload, reassigning payees as needed; settles with a

@@ -1,0 +1,34 @@
+#include "src/sim/faults.h"
+
+namespace tc::sim {
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed)
+    : plan_(plan), rng_([seed] {
+        // SplitMix the swarm seed through a fixed offset so the fault
+        // stream never collides with the swarm's own Rng(seed) stream.
+        std::uint64_t s = seed + 0x7a11c0de5eedull;
+        return util::split_mix64(s);
+      }()) {}
+
+bool FaultInjector::drop_control() {
+  if (plan_.control_loss <= 0.0) return false;
+  return rng_.bernoulli(plan_.control_loss);
+}
+
+double FaultInjector::control_delay() {
+  if (plan_.control_jitter <= 0.0) return 0.0;
+  return rng_.uniform(0.0, plan_.control_jitter);
+}
+
+double FaultInjector::outage_gap() { return rng_.exponential(plan_.outage_rate); }
+
+double FaultInjector::outage_duration() {
+  if (plan_.outage_mean_duration <= 0.0) return 0.0;
+  return rng_.exponential(1.0 / plan_.outage_mean_duration);
+}
+
+bool FaultInjector::crash_on_exit() {
+  return rng_.bernoulli(plan_.crash_fraction);
+}
+
+}  // namespace tc::sim

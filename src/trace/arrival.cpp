@@ -46,4 +46,18 @@ std::vector<SimTime> RedHatTraceArrivals::generate(std::size_t count,
   return t;
 }
 
+ExponentialSessions::ExponentialSessions(SimTime mean_seconds)
+    : mean_(mean_seconds) {}
+
+SimTime ExponentialSessions::duration(util::Rng& rng) const {
+  return rng.exponential(1.0 / mean_);
+}
+
+LogNormalSessions::LogNormalSessions(SimTime median_seconds, double sigma)
+    : mu_(std::log(median_seconds)), sigma_(sigma) {}
+
+SimTime LogNormalSessions::duration(util::Rng& rng) const {
+  return std::exp(rng.normal(mu_, sigma_));
+}
+
 }  // namespace tc::trace

@@ -5,6 +5,12 @@
 //    trace [28] the paper replays (see DESIGN.md §5 Substitutions) —
 //    release-day surge followed by exponentially decaying arrival rate
 //    with diurnal modulation.
+//
+// Session-duration (churn) models live here too: how long a leecher stays
+// before leaving, finished or not. The paper assumes peers stay to
+// completion; measured swarms do not, so the fault-injection layer
+// (src/sim/faults.*) pairs an arrival model with a session model to drive
+// mid-download departures.
 #pragma once
 
 #include <cstddef>
@@ -76,6 +82,41 @@ class RedHatTraceArrivals final : public ArrivalModel {
 
  private:
   Params p_;
+};
+
+// --- Session-duration (churn) models ---------------------------------------
+
+class SessionModel {
+ public:
+  virtual ~SessionModel() = default;
+  virtual std::string name() const = 0;
+  // How long the peer stays in the swarm from its join (seconds, > 0).
+  virtual SimTime duration(util::Rng& rng) const = 0;
+};
+
+// Memoryless sessions: classic analytic churn with the given mean.
+class ExponentialSessions final : public SessionModel {
+ public:
+  explicit ExponentialSessions(SimTime mean_seconds);
+  std::string name() const override { return "exp-sessions"; }
+  SimTime duration(util::Rng& rng) const override;
+
+ private:
+  SimTime mean_;
+};
+
+// Heavy-tailed sessions: most peers leave early, a few stay very long —
+// the shape tracker measurements consistently report. `median_seconds` is
+// exp(mu); `sigma` controls the tail weight.
+class LogNormalSessions final : public SessionModel {
+ public:
+  LogNormalSessions(SimTime median_seconds, double sigma);
+  std::string name() const override { return "lognormal-sessions"; }
+  SimTime duration(util::Rng& rng) const override;
+
+ private:
+  double mu_;
+  double sigma_;
 };
 
 }  // namespace tc::trace

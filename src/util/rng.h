@@ -40,6 +40,11 @@ class Rng {
   // Exponentially distributed with the given rate (mean 1/rate).
   double exponential(double rate);
 
+  // Standard normal via Box-Muller (fixed two uniform draws, so the stream
+  // position stays predictable for determinism tests).
+  double normal();
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
   // True with probability p (clamped to [0,1]).
   bool bernoulli(double p);
 

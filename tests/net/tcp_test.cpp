@@ -80,6 +80,62 @@ TEST(Tcp, ConnectToBadAddressThrows) {
   EXPECT_THROW(FrameSocket::connect_to("not-an-ip", 1), std::runtime_error);
 }
 
+TEST(Tcp, RecvTimeoutThrowsInsteadOfHanging) {
+  Listener listener(0);
+  std::thread server([&] {
+    FrameSocket conn = listener.accept();
+    // Accept, then stay silent: the client must not block forever.
+    conn.recv_frame();  // parks until the client gives up and closes
+  });
+  FrameSocket client = FrameSocket::connect_to("127.0.0.1", listener.port());
+  client.set_recv_timeout(0.2);
+  try {
+    client.recv_frame();
+    FAIL() << "recv_frame returned despite a silent peer";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos)
+        << e.what();
+  }
+  client.close();
+  server.join();
+}
+
+TEST(Tcp, SendAfterPeerClosedThrowsInsteadOfSigpipe) {
+  Listener listener(0);
+  std::thread server([&] { listener.accept().close(); });
+  FrameSocket client = FrameSocket::connect_to("127.0.0.1", listener.port());
+  server.join();
+  // The first sends may land in the kernel buffer; once the RST is
+  // processed the write fails. Without MSG_NOSIGNAL this would raise
+  // SIGPIPE and kill the test binary instead of throwing.
+  const util::Bytes chunk(64 * 1024, 0xee);
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 200; ++i) client.send_frame(chunk);
+      },
+      std::runtime_error);
+}
+
+TEST(Tcp, ConnectWithTimeoutStillWorksAndSendsBlockNormallyAfter) {
+  // A bounded handshake must not leave SO_SNDTIMEO armed: large frames
+  // after connect would otherwise fail spuriously once the socket
+  // buffer backpressures past the handshake deadline.
+  Listener listener(0);
+  std::thread server([&] {
+    FrameSocket conn = listener.accept();
+    std::size_t frames = 0;
+    while (conn.recv_frame()) ++frames;
+    EXPECT_EQ(frames, 50u);
+  });
+  FrameSocket client = FrameSocket::connect_to("127.0.0.1", listener.port(),
+                                               /*timeout_seconds=*/0.05);
+  ASSERT_TRUE(client.valid());
+  const util::Bytes chunk(256 * 1024, 0x5a);
+  for (int i = 0; i < 50; ++i) client.send_frame(chunk);
+  client.close();
+  server.join();
+}
+
 TEST(Tcp, MoveSemantics) {
   Listener listener(0);
   std::thread server([&] { FrameSocket conn = listener.accept(); });

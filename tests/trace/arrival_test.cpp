@@ -66,6 +66,35 @@ TEST(ArrivalModels, Names) {
   EXPECT_EQ(FlashCrowdArrivals().name(), "flash-crowd");
   EXPECT_EQ(PoissonArrivals(1.0).name(), "poisson");
   EXPECT_EQ(RedHatTraceArrivals().name(), "redhat9-like");
+  EXPECT_EQ(ExponentialSessions(60.0).name(), "exp-sessions");
+  EXPECT_EQ(LogNormalSessions(60.0, 1.0).name(), "lognormal-sessions");
+}
+
+TEST(SessionModels, ExponentialMeanMatches) {
+  util::Rng rng(11);
+  ExponentialSessions model(120.0);
+  double sum = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    const double d = model.duration(rng);
+    EXPECT_GT(d, 0.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / n, 120.0, 5.0);
+}
+
+TEST(SessionModels, LogNormalMedianAndTail) {
+  util::Rng rng(12);
+  LogNormalSessions model(100.0, 1.0);
+  std::vector<double> d(20'000);
+  for (auto& x : d) x = model.duration(rng);
+  std::sort(d.begin(), d.end());
+  // Median of exp(N(log 100, 1)) is 100; the tail is heavy (mean > median).
+  EXPECT_NEAR(d[d.size() / 2], 100.0, 10.0);
+  double mean = 0.0;
+  for (double x : d) mean += x;
+  mean /= static_cast<double>(d.size());
+  EXPECT_GT(mean, d[d.size() / 2] * 1.3);
 }
 
 }  // namespace
