@@ -3,53 +3,67 @@
 //     bandwidth class finishes, then decay in a saw-tooth as each class
 //     departs; (b) trace-driven — chains track the active-leecher count.
 #include "bench/common.h"
+#include "src/protocols/tchain.h"
 
 namespace {
 
-void run_census(const char* label, tc::bt::SwarmConfig cfg,
-                std::vector<tc::util::SimTime> arrivals,
-                const tc::util::Flags& flags, bool indirect_only) {
-  using namespace tc;
-  protocols::TChainProtocol proto;
-  cfg.piece_bytes = proto.default_piece_bytes();
-  cfg.allow_direct_reciprocity = !indirect_only;
-  bt::Swarm swarm(cfg, proto, std::move(arrivals));
-
-  // Sample the active-leecher count alongside the protocol's chain census.
+// Per-panel state filled by the run's setup/inspect hooks.
+struct Census {
   std::vector<std::pair<double, std::size_t>> leecher_series;
-  struct Sampler {
-    bt::Swarm* s;
-    std::vector<std::pair<double, std::size_t>>* out;
-    void operator()() const {
-      out->emplace_back(s->simulator().now(), s->active_leecher_count());
-      s->simulator().schedule_in(5.0, *this);
-    }
-  };
-  swarm.simulator().schedule_in(5.0, Sampler{&swarm, &leecher_series});
-  swarm.run();
+  std::vector<tc::core::ChainRegistry::CensusPoint> census;
+  std::size_t total_created = 0, by_seeder = 0, by_leechers = 0;
+  double mean_terminated_length = 0;
+};
 
-  const auto& census = proto.chains().census();
+// Self-rescheduling sampler: records the active-leecher count every 5 s.
+struct Sampler {
+  tc::bt::Swarm* s;
+  std::vector<std::pair<double, std::size_t>>* out;
+  void operator()() const {
+    out->emplace_back(s->simulator().now(), s->active_leecher_count());
+    s->simulator().schedule_in(5.0, *this);
+  }
+};
+
+void attach(tc::bench::RunSpec& spec, Census& out) {
+  using namespace tc;
+  spec.setup = [&out](bt::Swarm& swarm) {
+    swarm.simulator().schedule_in(5.0, Sampler{&swarm, &out.leecher_series});
+  };
+  spec.inspect = [&out](bt::Swarm&, bt::Protocol& proto, bench::RunRecord&) {
+    const auto* tchain = dynamic_cast<const protocols::TChainProtocol*>(&proto);
+    if (tchain == nullptr) return;
+    out.census = tchain->chains().census();
+    out.total_created = tchain->chains().total_created();
+    out.by_seeder = tchain->chains().created_by_seeder();
+    out.by_leechers = tchain->chains().created_by_leechers();
+    out.mean_terminated_length = tchain->chains().mean_terminated_length();
+  };
+}
+
+void print_census(const char* label, const Census& c,
+                  const tc::util::Flags& flags) {
+  using namespace tc;
   util::AsciiTable t({"time (s)", "active chains", "active leechers"});
   const std::size_t rows = 14;
   for (std::size_t k = 0; k < rows; ++k) {
-    const std::size_t i = census.empty() ? 0 : k * (census.size() - 1) / (rows - 1);
-    if (i >= census.size()) break;
+    const std::size_t i =
+        c.census.empty() ? 0 : k * (c.census.size() - 1) / (rows - 1);
+    if (i >= c.census.size()) break;
     std::size_t leechers = 0;
-    for (const auto& [time, n] : leecher_series) {
-      if (time <= census[i].t) leechers = n;
+    for (const auto& [time, n] : c.leecher_series) {
+      if (time <= c.census[i].t) leechers = n;
     }
-    t.add_row({util::format_double(census[i].t, 0),
-               std::to_string(census[i].active_chains),
+    t.add_row({util::format_double(c.census[i].t, 0),
+               std::to_string(c.census[i].active_chains),
                std::to_string(leechers)});
   }
   std::cout << label << "\n";
   bench::print_table(t, flags);
-  std::cout << "chains created: " << proto.chains().total_created()
-            << " (seeder " << proto.chains().created_by_seeder()
-            << ", leechers " << proto.chains().created_by_leechers()
+  std::cout << "chains created: " << c.total_created << " (seeder "
+            << c.by_seeder << ", leechers " << c.by_leechers
             << "), mean terminated length "
-            << util::format_double(proto.chains().mean_terminated_length(), 1)
-            << "\n\n";
+            << util::format_double(c.mean_terminated_length, 1) << "\n\n";
 }
 
 }  // namespace
@@ -62,29 +76,31 @@ int main(int argc, char** argv) {
   const std::size_t n =
       static_cast<std::size_t>(flags.get_int("leechers", full ? 600 : 150));
   const bool indirect_only = flags.get_bool("indirect-only");
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
 
   bench::banner("Figure 10 (active chains over time)",
                 "(a) flash crowd: chains climb, then saw-tooth down as each "
                 "bandwidth class finishes; (b) trace: chains track the "
                 "active-leecher population");
 
-  {
-    protocols::TChainProtocol probe;
-    auto cfg = bench::base_config(probe, n, file_mb * util::kMiB,
-                                  static_cast<std::uint64_t>(flags.get_int("seed", 1)));
-    run_census("(a) flash crowd", cfg, {}, flags, indirect_only);
-  }
-  {
-    protocols::TChainProtocol probe;
-    auto cfg = bench::base_config(probe, n, file_mb * util::kMiB,
-                                  static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+  auto cfg = bench::base_config(n, file_mb * util::kMiB, seed);
+  cfg.allow_direct_reciprocity = !indirect_only;
+
+  Census flash, traced;
+  bench::Sweep a(cfg), b(cfg);
+  a.protocol("tchain").for_each(
+      [&](bench::RunSpec& s) { attach(s, flash); });
+  b.protocol("tchain").for_each([&](bench::RunSpec& s) {
     trace::RedHatTraceArrivals::Params p;
     p.peak_rate = full ? 0.5 : 0.4;
     p.decay_seconds = full ? 36'000 : 2'000;
     util::Rng arr_rng(11);
-    auto arrivals = trace::RedHatTraceArrivals(p).generate(n, arr_rng);
-    run_census("(b) trace-driven arrivals", cfg, std::move(arrivals), flags,
-               indirect_only);
-  }
+    s.arrivals = trace::RedHatTraceArrivals(p).generate(n, arr_rng);
+    attach(s, traced);
+  });
+  bench::run(bench::concat({&a, &b}), flags);
+
+  print_census("(a) flash crowd", flash, flags);
+  print_census("(b) trace-driven arrivals", traced, flags);
   return 0;
 }

@@ -8,6 +8,30 @@
 //     opportunistic seeding.
 // --no-oppseed ablates the mechanism to show the utilization gap it closes.
 #include "bench/common.h"
+#include "src/protocols/tchain.h"
+
+namespace {
+
+struct ChainStats {
+  std::vector<tc::core::ChainRegistry::CensusPoint> census;
+  std::uint64_t by_seeder = 0, by_leechers = 0;
+  double opp_fraction = 0;
+};
+
+void read_chains(tc::bench::RunSpec& spec, ChainStats& out) {
+  spec.inspect = [&out](tc::bt::Swarm&, tc::bt::Protocol& proto,
+                        tc::bench::RunRecord&) {
+    const auto* tchain =
+        dynamic_cast<const tc::protocols::TChainProtocol*>(&proto);
+    if (tchain == nullptr) return;
+    out.census = tchain->chains().census();
+    out.by_seeder = tchain->chains().created_by_seeder();
+    out.by_leechers = tchain->chains().created_by_leechers();
+    out.opp_fraction = tchain->chains().opportunistic_fraction();
+  };
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace tc;
@@ -23,16 +47,41 @@ int main(int argc, char** argv) {
                 "then ~zero; (b) the opportunistic fraction grows with the "
                 "free-rider share");
 
-  // ---- (a) cumulative creation by initiator, flash crowd --------------------
+  const std::vector<double> fracs = {0.0, 0.25, 0.5};
+
+  // Panel (a): flash crowd, seed 1. Panel (b): one run per free-rider
+  // share, trace arrivals, seed 2. All through one pool.
+  ChainStats flash;
+  std::vector<ChainStats> traced(fracs.size());
+
+  auto cfg_a = bench::base_config(n, file_mb * util::kMiB, 1);
+  cfg_a.opportunistic_seeding = oppseed;
+  bench::Sweep a(cfg_a);
+  a.protocol("tchain").for_each(
+      [&](bench::RunSpec& s) { read_chains(s, flash); });
+
+  auto cfg_b = bench::base_config(n, file_mb * util::kMiB, 2);
+  cfg_b.opportunistic_seeding = oppseed;
+  cfg_b.wait_for_freeriders = false;
+  bench::Sweep b(cfg_b);
+  b.protocol("tchain").axis(
+      "freeriders", fracs, [&, full](bench::RunSpec& s, double frac) {
+        s.config.freerider_fraction = frac;
+        trace::RedHatTraceArrivals::Params p;
+        p.peak_rate = full ? 0.5 : 0.4;
+        p.decay_seconds = full ? 36'000 : 2'000;
+        util::Rng arr_rng(13);
+        s.arrivals = trace::RedHatTraceArrivals(p).generate(n, arr_rng);
+      });
+  std::size_t slot = 0;
+  b.for_each([&](bench::RunSpec& s) { read_chains(s, traced.at(slot++)); });
+
+  const auto records = bench::run(bench::concat({&a, &b}), flags);
+
   {
-    protocols::TChainProtocol proto;
-    auto cfg = bench::base_config(proto, n, file_mb * util::kMiB, 1);
-    cfg.opportunistic_seeding = oppseed;
-    bt::Swarm swarm(cfg, proto);
-    swarm.run();
-    const auto& census = proto.chains().census();
     util::AsciiTable t({"time (s)", "cumulative by seeder",
                         "cumulative by leechers"});
+    const auto& census = flash.census;
     const std::size_t rows = 12;
     for (std::size_t k = 0; k < rows && !census.empty(); ++k) {
       const std::size_t i = k * (census.size() - 1) / (rows - 1);
@@ -43,39 +92,20 @@ int main(int argc, char** argv) {
     std::cout << "(a) flash crowd, opportunistic seeding "
               << (oppseed ? "ON" : "OFF (ablation)") << "\n";
     bench::print_table(t, flags);
-    const auto& m = swarm.metrics();
+    const auto& r = records.at(0).result;
     std::cout << "mean completion "
-              << util::format_double(
-                     m.completion_times(bench::F::kCompliant).mean(), 1)
+              << util::format_double(r.compliant_mean, 1)
               << " s, uplink utilization "
-              << util::format_double(
-                     100 * m.mean_uplink_utilization(bench::F::kCompliant,
-                                                     swarm.end_time()),
-                     1)
-              << "%\n\n";
+              << util::format_double(100 * r.uplink_utilization, 1) << "%\n\n";
   }
-
-  // ---- (b) opportunistic fraction vs free-rider share, trace ----------------
   {
     util::AsciiTable t({"freeriders (%)", "by seeder", "by leechers",
                         "opportunistic fraction"});
-    for (double frac : {0.0, 0.25, 0.5}) {
-      protocols::TChainProtocol proto;
-      auto cfg = bench::base_config(proto, n, file_mb * util::kMiB, 2);
-      cfg.freerider_fraction = frac;
-      cfg.opportunistic_seeding = oppseed;
-      cfg.wait_for_freeriders = false;
-      trace::RedHatTraceArrivals::Params p;
-      p.peak_rate = full ? 0.5 : 0.4;
-      p.decay_seconds = full ? 36'000 : 2'000;
-      util::Rng arr_rng(13);
-      auto arrivals = trace::RedHatTraceArrivals(p).generate(n, arr_rng);
-      bt::Swarm swarm(cfg, proto, std::move(arrivals));
-      swarm.run();
-      t.add_row({util::format_double(100 * frac, 0),
-                 std::to_string(proto.chains().created_by_seeder()),
-                 std::to_string(proto.chains().created_by_leechers()),
-                 util::format_double(proto.chains().opportunistic_fraction(), 3)});
+    for (std::size_t k = 0; k < fracs.size(); ++k) {
+      t.add_row({util::format_double(100 * fracs[k], 0),
+                 std::to_string(traced[k].by_seeder),
+                 std::to_string(traced[k].by_leechers),
+                 util::format_double(traced[k].opp_fraction, 3)});
     }
     std::cout << "(b) trace-driven arrivals\n";
     bench::print_table(t, flags);

@@ -10,16 +10,16 @@ int main(int argc, char** argv) {
   const bool full = flags.get_bool("full");
   const auto file_mb = flags.get_int("file-mb", full ? 128 : 16);
   const auto seeds =
-      static_cast<std::uint64_t>(flags.get_int("seeds", full ? 30 : 2));
+      static_cast<std::size_t>(flags.get_int("seeds", full ? 30 : 2));
 
-  std::vector<std::size_t> swarms;
+  std::vector<double> swarms;
   if (full) {
     swarms = {200, 400, 600, 800, 1000};
   } else {
     swarms = {50, 100, 150, 200};
   }
   if (flags.has("swarm")) {
-    swarms = {static_cast<std::size_t>(flags.get_int("swarm", 100))};
+    swarms = {static_cast<double>(flags.get_int("swarm", 100))};
   }
 
   bench::banner("Figure 3 (no free-riders)",
@@ -27,25 +27,28 @@ int main(int argc, char** argv) {
                 "FairTorrent slightly faster / higher uplink utilization "
                 "than BitTorrent and PropShare");
 
+  const auto protos = protocols::paper_protocols();
+  bench::Sweep sweep(bench::base_config(0, file_mb * util::kMiB));
+  sweep.protocols(protos)
+      .seeds(seeds)
+      .axis("swarm", swarms, [](bench::RunSpec& s, double n) {
+        s.config.leecher_count = static_cast<std::size_t>(n);
+      });
+  const auto records = bench::run(sweep, flags);
+
   util::AsciiTable t({"swarm", "protocol", "mean completion (s)", "ci95",
                       "uplink util (%)", "optimal (s)"});
-
-  for (std::size_t n : swarms) {
-    double opt = 0.0;
-    for (const auto& name : protocols::paper_protocols()) {
-      util::RunningStats mean_s, util_s;
-      for (std::uint64_t s = 1; s <= seeds; ++s) {
-        auto proto = protocols::make_protocol(name);
-        auto cfg = bench::base_config(*proto, n, file_mb * util::kMiB, s);
-        opt = bench::optimal_time(cfg);
-        const auto r = bench::run_swarm(cfg, *proto);
-        mean_s.add(r.compliant_mean);
-        util_s.add(r.uplink_utilization);
-      }
-      t.add_row({std::to_string(n), name,
-                 util::format_double(mean_s.mean(), 1),
-                 "+-" + util::format_double(mean_s.ci95_half_width(), 1),
-                 util::format_double(100 * util_s.mean(), 1),
+  std::size_t i = 0;
+  for (double n : swarms) {
+    const auto cfg = bench::base_config(static_cast<std::size_t>(n),
+                                        file_mb * util::kMiB);
+    const double opt = bench::optimal_time(cfg);
+    for (const auto& name : protos) {
+      const auto p = bench::accumulate(records, i, seeds);
+      t.add_row({exp::format_axis_value(n), name,
+                 util::format_double(p.compliant.mean(), 1),
+                 "+-" + util::format_double(p.compliant.ci95_half_width(), 1),
+                 util::format_double(100 * p.uplink.mean(), 1),
                  util::format_double(opt, 1)});
     }
   }

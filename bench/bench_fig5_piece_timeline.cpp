@@ -3,6 +3,8 @@
 // decryption-key arrivals. Paper: steady upload to the leecher; key delay
 // small; for the 400 Kbps leecher the key line's slope is bounded by its
 // own (smaller) upload bandwidth.
+#include <unordered_map>
+
 #include "bench/common.h"
 
 namespace {
@@ -49,25 +51,40 @@ int main(int argc, char** argv) {
                 "series lags more because reciprocation is bounded by its "
                 "own upload bandwidth");
 
-  protocols::TChainProtocol proto;
-  auto cfg = bench::base_config(proto, leechers, file_mb * util::kMiB,
-                                static_cast<std::uint64_t>(flags.get_int("seed", 1)));
-  bt::Swarm swarm(cfg, proto);
-  swarm.set_trace_extremes(true);
-  swarm.run();
+  // One run; the setup hook arms the extreme-peer traces and the inspect
+  // hook copies the two timelines out of the swarm before it is destroyed.
+  analysis::PieceTimeline slow_tl, fast_tl;
+  bool have_slow = false, have_fast = false;
 
-  const auto slow = swarm.traced_slow_peer();
-  const auto fast = swarm.traced_fast_peer();
-  print_timeline(swarm.metrics().timeline(slow), "(a) 400 Kbps leecher", 12,
+  bench::Sweep sweep(bench::base_config(
+      leechers, file_mb * util::kMiB,
+      static_cast<std::uint64_t>(flags.get_int("seed", 1))));
+  sweep.protocol("tchain").for_each([&](bench::RunSpec& s) {
+    s.setup = [](bt::Swarm& swarm) { swarm.set_trace_extremes(true); };
+    s.inspect = [&](bt::Swarm& swarm, bt::Protocol&, bench::RunRecord&) {
+      if (const auto* tl = swarm.metrics().timeline(swarm.traced_slow_peer())) {
+        slow_tl = *tl;
+        have_slow = true;
+      }
+      if (const auto* tl = swarm.metrics().timeline(swarm.traced_fast_peer())) {
+        fast_tl = *tl;
+        have_fast = true;
+      }
+    };
+  });
+  bench::run(sweep, flags);
+
+  print_timeline(have_slow ? &slow_tl : nullptr, "(a) 400 Kbps leecher", 12,
                  flags);
   std::cout << "\n";
-  print_timeline(swarm.metrics().timeline(fast), "(b) 1200 Kbps leecher", 12,
+  print_timeline(have_fast ? &fast_tl : nullptr, "(b) 1200 Kbps leecher", 12,
                  flags);
 
   // Key-delay summary: time between an encrypted piece and its key.
-  for (auto [id, label] : {std::pair{slow, "400Kbps"}, {fast, "1200Kbps"}}) {
-    const auto* tl = swarm.metrics().timeline(id);
-    if (tl == nullptr) continue;
+  for (auto [tl, have, label] :
+       {std::tuple{&slow_tl, have_slow, "400Kbps"},
+        {&fast_tl, have_fast, "1200Kbps"}}) {
+    if (!have) continue;
     std::unordered_map<std::uint32_t, double> enc_at;
     for (const auto& [time, piece] : tl->encrypted_received) enc_at[piece] = time;
     util::RunningStats delay;

@@ -15,7 +15,8 @@ int main(int argc, char** argv) {
   const bool full = flags.get_bool("full");
   const auto file_mb = flags.get_int("file-mb", full ? 128 : 8);
   const auto seeds =
-      static_cast<std::uint64_t>(flags.get_int("seeds", full ? 30 : 2));
+      static_cast<std::size_t>(flags.get_int("seeds", full ? 30 : 2));
+  const auto opts = exp::runner_options_from_flags(flags);
 
   bench::banner("Figure 6 (piece diversity)",
                 "(a) neighbors differ in a substantial fraction of pieces "
@@ -25,56 +26,61 @@ int main(int argc, char** argv) {
 
   // ---- (a) pairwise piece differences over time ---------------------------------
   {
-    protocols::TChainProtocol proto;
-    auto cfg = bench::base_config(proto, full ? 400 : 120,
-                                  file_mb * util::kMiB, 1);
     trace::RedHatTraceArrivals::Params p;
     p.peak_rate = full ? 0.5 : 0.3;
     p.decay_seconds = full ? 36'000 : 2'000;
     util::Rng arr_rng(7);
+    auto cfg = bench::base_config(full ? 400 : 120, file_mb * util::kMiB, 1);
     auto arrivals =
         trace::RedHatTraceArrivals(p).generate(cfg.leecher_count, arr_rng);
+    const double horizon = arrivals.back() * 1.2;
 
-    bt::Swarm swarm(cfg, proto, arrivals);
     util::AsciiTable t({"time (s)", "active leechers", "mean piece diff",
                         "piece diff (%)"});
-    const double horizon = arrivals.back() * 1.2;
-    // Crawler: every horizon/10, sample pairwise differences among the
-    // neighbors of a random active leecher.
-    for (int k = 1; k <= 10; ++k) {
-      const double when = horizon * k / 10.0;
-      swarm.simulator().schedule_at(when, [&swarm, &t, when] {
-        const auto ids = swarm.active_peers();
-        std::vector<bt::PeerId> leechers;
-        for (auto id : ids) {
-          const bt::Peer* p2 = swarm.peer(id);
-          if (p2 != nullptr && !p2->seeder) leechers.push_back(id);
+    bench::Sweep sweep(cfg);
+    sweep.protocol("tchain").for_each([&](bench::RunSpec& s) {
+      s.arrivals = arrivals;
+      // Crawler: every horizon/10, sample pairwise piece differences among
+      // the neighbors of a random active leecher.
+      s.setup = [&t, horizon](bt::Swarm& swarm) {
+        for (int k = 1; k <= 10; ++k) {
+          const double when = horizon * k / 10.0;
+          swarm.simulator().schedule_at(when, [&swarm, &t, when] {
+            const auto ids = swarm.active_peers();
+            std::vector<bt::PeerId> leechers;
+            for (auto id : ids) {
+              const bt::Peer* p2 = swarm.peer(id);
+              if (p2 != nullptr && !p2->seeder) leechers.push_back(id);
+            }
+            if (leechers.size() < 2) return;
+            const bt::Peer* vantage =
+                swarm.peer(leechers[swarm.rng().index(leechers.size())]);
+            util::RunningStats diff;
+            const auto& nbrs = vantage->neighbors;
+            for (std::size_t i = 0; i < nbrs.size(); ++i) {
+              for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+                const bt::Peer* a = swarm.peer(nbrs[i]);
+                const bt::Peer* b = swarm.peer(nbrs[j]);
+                if (a == nullptr || b == nullptr || a->seeder || b->seeder)
+                  continue;
+                const auto ab = a->have.missing_from(b->have).size();
+                const auto ba = b->have.missing_from(a->have).size();
+                diff.add(static_cast<double>(ab + ba));
+              }
+            }
+            if (diff.count() == 0) return;
+            t.add_row(
+                {util::format_double(when, 0), std::to_string(leechers.size()),
+                 util::format_double(diff.mean(), 1),
+                 util::format_double(
+                     100.0 * diff.mean() /
+                         static_cast<double>(swarm.piece_count()),
+                     1)});
+          });
         }
-        if (leechers.size() < 2) return;
-        const bt::Peer* vantage =
-            swarm.peer(leechers[swarm.rng().index(leechers.size())]);
-        util::RunningStats diff;
-        const auto& nbrs = vantage->neighbors;
-        for (std::size_t i = 0; i < nbrs.size(); ++i) {
-          for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
-            const bt::Peer* a = swarm.peer(nbrs[i]);
-            const bt::Peer* b = swarm.peer(nbrs[j]);
-            if (a == nullptr || b == nullptr || a->seeder || b->seeder) continue;
-            const auto ab = a->have.missing_from(b->have).size();
-            const auto ba = b->have.missing_from(a->have).size();
-            diff.add(static_cast<double>(ab + ba));
-          }
-        }
-        if (diff.count() == 0) return;
-        t.add_row({util::format_double(when, 0), std::to_string(leechers.size()),
-                   util::format_double(diff.mean(), 1),
-                   util::format_double(
-                       100.0 * diff.mean() /
-                           static_cast<double>(swarm.piece_count()),
-                       1)});
-      });
-    }
-    swarm.run();
+      };
+    });
+    exp::run_all(sweep.build(), opts);
     std::cout << "(a) crawler-style piece differences (trace-driven swarm)\n";
     bench::print_table(t, flags);
   }
@@ -83,18 +89,22 @@ int main(int argc, char** argv) {
   {
     const std::size_t leechers =
         static_cast<std::size_t>(flags.get_int("leechers", full ? 600 : 100));
+    const std::vector<double> fracs = {0.0, 0.2, 0.4, 0.6, 0.8, 0.95};
+    bench::Sweep sweep(bench::base_config(leechers, file_mb * util::kMiB));
+    sweep.protocol("tchain")
+        .seeds(seeds)
+        .axis("initial", fracs, [](bench::RunSpec& s, double frac) {
+          s.config.initial_piece_fraction = frac;
+        });
+    const auto records = exp::run_all(sweep.build(), opts);
+
     util::AsciiTable t({"initial pieces (%)", "mean completion (s)", "ci95"});
-    for (double frac : {0.0, 0.2, 0.4, 0.6, 0.8, 0.95}) {
-      util::RunningStats mean_s;
-      for (std::uint64_t s = 1; s <= seeds; ++s) {
-        protocols::TChainProtocol proto;
-        auto cfg = bench::base_config(proto, leechers, file_mb * util::kMiB, s);
-        cfg.initial_piece_fraction = frac;
-        mean_s.add(bench::run_swarm(cfg, proto).compliant_mean);
-      }
+    std::size_t i = 0;
+    for (double frac : fracs) {
+      const auto p = bench::accumulate(records, i, seeds);
       t.add_row({util::format_double(100 * frac, 0),
-                 util::format_double(mean_s.mean(), 1),
-                 "+-" + util::format_double(mean_s.ci95_half_width(), 1)});
+                 util::format_double(p.compliant.mean(), 1),
+                 "+-" + util::format_double(p.compliant.ci95_half_width(), 1)});
     }
     std::cout << "\n(b) effect of initial piece possession\n";
     bench::print_table(t, flags);

@@ -12,50 +12,59 @@ int main(int argc, char** argv) {
   const bool full = flags.get_bool("full");
   const auto file_mb = flags.get_int("file-mb", full ? 128 : 16);
   const auto seeds =
-      static_cast<std::uint64_t>(flags.get_int("seeds", full ? 30 : 2));
+      static_cast<std::size_t>(flags.get_int("seeds", full ? 30 : 2));
   const double frac = flags.get_double("freeriders", 0.25);
 
-  std::vector<std::size_t> swarms = full
-      ? std::vector<std::size_t>{200, 400, 600, 800, 1000}
-      : std::vector<std::size_t>{50, 100, 150, 200};
+  std::vector<double> swarms = full
+      ? std::vector<double>{200, 400, 600, 800, 1000}
+      : std::vector<double>{50, 100, 150, 200};
+  if (flags.has("swarm")) {
+    swarms = {static_cast<double>(flags.get_int("swarm", 100))};
+  }
 
   bench::banner("Figure 7 (25% free-riders, flash crowd)",
                 "compliant: baselines degrade ~30%, T-Chain protected; "
                 "free-riders: succeed in baselines (FairTorrent fastest), "
                 "zero complete under T-Chain");
 
+  const auto protos = protocols::paper_protocols();
+
+  // Two sweeps through one pool: the attacked swarm and a same-seed
+  // no-free-rider baseline for the degradation column.
+  bench::Sweep attacked(bench::base_config(0, file_mb * util::kMiB));
+  attacked.protocols(protos)
+      .seeds(seeds)
+      .axis("swarm", swarms, [frac](bench::RunSpec& s, double n) {
+        s.config.leecher_count = static_cast<std::size_t>(n);
+        s.config.freerider_fraction = frac;
+        s.set_tag("freeriders", exp::format_axis_value(frac));
+      });
+  bench::Sweep baseline(bench::base_config(0, file_mb * util::kMiB));
+  baseline.protocols(protos)
+      .seeds(seeds)
+      .axis("swarm", swarms, [](bench::RunSpec& s, double n) {
+        s.config.leecher_count = static_cast<std::size_t>(n);
+        s.set_tag("freeriders", "0");
+      });
+
+  const auto records = bench::run(bench::concat({&attacked, &baseline}), flags);
+
   util::AsciiTable t({"swarm", "protocol", "compliant mean (s)", "ci95",
                       "freerider mean (s)", "freeriders done",
                       "no-freerider mean (s)"});
-
-  for (std::size_t n : swarms) {
-    for (const auto& name : protocols::paper_protocols()) {
-      util::RunningStats compliant, baseline;
-      util::RunningStats fr_mean;
-      std::size_t fr_done = 0, fr_total = 0;
-      for (std::uint64_t s = 1; s <= seeds; ++s) {
-        // With free-riders.
-        auto proto = protocols::make_protocol(name);
-        auto cfg = bench::base_config(*proto, n, file_mb * util::kMiB, s);
-        cfg.freerider_fraction = frac;
-        const auto r = bench::run_swarm(cfg, *proto);
-        compliant.add(r.compliant_mean);
-        if (r.freerider_mean >= 0) fr_mean.add(r.freerider_mean);
-        fr_done += r.freerider_finished;
-        fr_total += r.freerider_finished + r.freerider_unfinished;
-
-        // Baseline (same seed, no free-riders) for the degradation column.
-        auto proto0 = protocols::make_protocol(name);
-        auto cfg0 = bench::base_config(*proto0, n, file_mb * util::kMiB, s);
-        baseline.add(bench::run_swarm(cfg0, *proto0).compliant_mean);
-      }
-      t.add_row({std::to_string(n), name,
-                 util::format_double(compliant.mean(), 1),
-                 "+-" + util::format_double(compliant.ci95_half_width(), 1),
-                 fr_mean.count() ? util::format_double(fr_mean.mean(), 1)
-                                 : "never",
-                 std::to_string(fr_done) + "/" + std::to_string(fr_total),
-                 util::format_double(baseline.mean(), 1)});
+  std::size_t i = 0;                          // walks the attacked records
+  std::size_t j = swarms.size() * protos.size() * seeds;  // baseline records
+  for (double n : swarms) {
+    for (const auto& name : protos) {
+      const auto a = bench::accumulate(records, i, seeds);
+      const auto b = bench::accumulate(records, j, seeds);
+      t.add_row({exp::format_axis_value(n), name,
+                 util::format_double(a.compliant.mean(), 1),
+                 "+-" + util::format_double(a.compliant.ci95_half_width(), 1),
+                 a.fr_mean.count() ? util::format_double(a.fr_mean.mean(), 1)
+                                   : "never",
+                 std::to_string(a.fr_done) + "/" + std::to_string(a.fr_total),
+                 util::format_double(b.compliant.mean(), 1)});
     }
   }
   bench::print_table(t, flags);

@@ -11,45 +11,47 @@ int main(int argc, char** argv) {
   const bool full = flags.get_bool("full");
   const auto file_mb = flags.get_int("file-mb", full ? 128 : 16);
   const auto seeds =
-      static_cast<std::uint64_t>(flags.get_int("seeds", full ? 30 : 2));
+      static_cast<std::size_t>(flags.get_int("seeds", full ? 30 : 2));
   const double frac = flags.get_double("freeriders", 0.25);
 
-  std::vector<std::size_t> swarms = full
-      ? std::vector<std::size_t>{200, 400, 600, 800, 1000}
-      : std::vector<std::size_t>{50, 100, 150, 200};
+  const std::vector<double> swarms = full
+      ? std::vector<double>{200, 400, 600, 800, 1000}
+      : std::vector<double>{50, 100, 150, 200};
 
   bench::banner("Figure 8 (collusion against T-Chain)",
                 "with false receipts colluders complete, but 10-40x slower "
                 "than compliant leechers; compliant performance unchanged "
                 "vs Figure 7(a)");
 
+  bench::Sweep sweep(bench::base_config(0, file_mb * util::kMiB));
+  sweep.protocol("tchain")
+      .seeds(seeds)
+      .axis("swarm", swarms,
+            [frac](bench::RunSpec& s, double n) {
+              s.config.leecher_count = static_cast<std::size_t>(n);
+              s.config.freerider_fraction = frac;
+              s.config.freerider_stall_timeout = 3000.0;
+            })
+      .axis("collude", {0, 1}, [](bench::RunSpec& s, double c) {
+        s.config.freerider_collude = c != 0;
+      });
+  const auto records = bench::run(sweep, flags);
+
   util::AsciiTable t({"swarm", "mode", "compliant mean (s)",
                       "freerider mean (s)", "freeriders done", "slowdown x"});
-
-  for (std::size_t n : swarms) {
+  std::size_t i = 0;
+  for (double n : swarms) {
     for (bool collude : {false, true}) {
-      util::RunningStats compliant, fr_mean;
-      std::size_t fr_done = 0, fr_total = 0;
-      for (std::uint64_t s = 1; s <= seeds; ++s) {
-        protocols::TChainProtocol proto;
-        auto cfg = bench::base_config(proto, n, file_mb * util::kMiB, s);
-        cfg.freerider_fraction = frac;
-        cfg.freerider_collude = collude;
-        cfg.freerider_stall_timeout = 3000.0;
-        const auto r = bench::run_swarm(cfg, proto);
-        compliant.add(r.compliant_mean);
-        if (r.freerider_mean >= 0) fr_mean.add(r.freerider_mean);
-        fr_done += r.freerider_finished;
-        fr_total += r.freerider_finished + r.freerider_unfinished;
-      }
+      const auto p = bench::accumulate(records, i, seeds);
       const double slowdown =
-          fr_mean.count() ? fr_mean.mean() / compliant.mean() : 0.0;
-      t.add_row({std::to_string(n), collude ? "collusion" : "no collusion",
-                 util::format_double(compliant.mean(), 1),
-                 fr_mean.count() ? util::format_double(fr_mean.mean(), 1)
-                                 : "never",
-                 std::to_string(fr_done) + "/" + std::to_string(fr_total),
-                 fr_mean.count() ? util::format_double(slowdown, 1) : "-"});
+          p.fr_mean.count() ? p.fr_mean.mean() / p.compliant.mean() : 0.0;
+      t.add_row({exp::format_axis_value(n),
+                 collude ? "collusion" : "no collusion",
+                 util::format_double(p.compliant.mean(), 1),
+                 p.fr_mean.count() ? util::format_double(p.fr_mean.mean(), 1)
+                                   : "never",
+                 std::to_string(p.fr_done) + "/" + std::to_string(p.fr_total),
+                 p.fr_mean.count() ? util::format_double(slowdown, 1) : "-"});
     }
   }
   bench::print_table(t, flags);

@@ -14,16 +14,6 @@ struct Scenario {
   tc::sim::FaultPlan plan;
 };
 
-struct Outcome {
-  tc::util::RunningStats mean_time;   // finished survivors' completion time
-  std::size_t survivors = 0;          // leechers that did not churn out
-  std::size_t finished = 0;           // ... of which finished
-  std::size_t crashes = 0;
-  std::size_t ctl_sent = 0, ctl_dropped = 0;
-  std::size_t timeouts = 0, refetches = 0;
-  std::size_t keys_lost = 0, keys_recovered = 0;
-};
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -34,7 +24,7 @@ int main(int argc, char** argv) {
   const auto leechers =
       static_cast<std::size_t>(flags.get_int("leechers", full ? 200 : 48));
   const auto seeds =
-      static_cast<std::uint64_t>(flags.get_int("seeds", full ? 10 : 3));
+      static_cast<std::size_t>(flags.get_int("seeds", full ? 10 : 3));
 
   // Loss-only rows isolate the control plane; churn rows add lognormal
   // sessions where half the exits are crashes (no goodbye, no escrow);
@@ -72,53 +62,82 @@ int main(int argc, char** argv) {
       "survivors complete under loss/crashes/outages; T-Chain recovers "
       "via tx watchdog + escrow, no transaction leaks");
 
+  // Axis value indexes `scenarios`; the survivor census (leechers that did
+  // not churn out, and their completion times) comes from the inspect hook.
+  std::vector<double> idx(scenarios.size());
+  for (std::size_t k = 0; k < scenarios.size(); ++k) idx[k] = double(k);
+
+  bench::Sweep sweep(bench::base_config(leechers, file_mb * util::kMiB));
+  sweep.protocols(protocols::paper_protocols())
+      .seeds(seeds)
+      .axis("scenario", idx,
+            [&scenarios](bench::RunSpec& s, double i) {
+              const auto& sc = scenarios[static_cast<std::size_t>(i)];
+              s.config.faults = sc.plan;
+              s.config.tx_timeout = 15.0;  // read by T-Chain's watchdog only
+              s.set_tag("scenario", sc.name);
+            })
+      .for_each([](bench::RunSpec& s) {
+        s.inspect = [](bt::Swarm& swarm, bt::Protocol&,
+                       bench::RunRecord& rec) {
+          std::size_t survivors = 0, finished = 0;
+          double time_sum = 0;
+          for (const auto* r : swarm.metrics().all()) {
+            if (r->seeder || r->freerider) continue;
+            if (r->depart_time >= 0 && !r->finished()) continue;  // churned
+            ++survivors;
+            if (r->finished()) {
+              ++finished;
+              time_sum += r->finish_time - r->join_time;
+            }
+          }
+          rec.add_extra("survivors", static_cast<double>(survivors));
+          rec.add_extra("surv_finished", static_cast<double>(finished));
+          rec.add_extra("surv_time_sum", time_sum);
+        };
+      });
+  const auto records = bench::run(sweep, flags);
+
   util::AsciiTable t({"scenario", "protocol", "mean (s)", "done/survived",
                       "crashes", "ctl drop", "tx timeouts", "refetches",
                       "keys lost", "escrow rec"});
-
+  std::size_t i = 0;
   for (const auto& sc : scenarios) {
     for (const auto& name : protocols::paper_protocols()) {
-      Outcome o;
-      for (std::uint64_t s = 1; s <= seeds; ++s) {
-        auto proto = protocols::make_protocol(name);
-        auto cfg = bench::base_config(*proto, leechers,
-                                      file_mb * util::kMiB, s);
-        cfg.faults = sc.plan;
-        cfg.tx_timeout = 15.0;  // read by T-Chain's watchdog only
-        bt::Swarm swarm(cfg, *proto);
-        swarm.run();
-
-        const auto& m = swarm.metrics();
-        for (const auto* rec : m.all()) {
-          if (rec->seeder || rec->freerider) continue;
-          if (rec->depart_time >= 0 && !rec->finished()) continue;  // churned
-          ++o.survivors;
-          if (rec->finished()) {
-            ++o.finished;
-            o.mean_time.add(rec->finish_time - rec->join_time);
-          }
-        }
-        const auto& rs = m.resilience();
-        o.crashes += rs.crashes;
-        o.ctl_sent += rs.control_sent;
-        o.ctl_dropped += rs.control_dropped;
-        o.timeouts += rs.transactions_timed_out;
-        o.refetches += rs.piece_refetches;
-        o.keys_lost += rs.keys_lost;
-        o.keys_recovered += rs.keys_escrow_recovered;
+      std::size_t survivors = 0, finished = 0, crashes = 0;
+      std::uint64_t ctl_sent = 0, ctl_dropped = 0;
+      std::uint64_t timeouts = 0, refetches = 0, keys_lost = 0,
+                    keys_recovered = 0;
+      double time_sum = 0;
+      for (std::size_t s = 0; s < seeds; ++s) {
+        const auto& rec = records.at(i++);
+        if (!rec.ok) continue;
+        survivors += static_cast<std::size_t>(rec.extra_value("survivors", 0));
+        finished +=
+            static_cast<std::size_t>(rec.extra_value("surv_finished", 0));
+        time_sum += rec.extra_value("surv_time_sum", 0);
+        const auto& rs = rec.result.resilience;
+        crashes += rs.crashes;
+        ctl_sent += rs.control_sent;
+        ctl_dropped += rs.control_dropped;
+        timeouts += rs.transactions_timed_out;
+        refetches += rs.piece_refetches;
+        keys_lost += rs.keys_lost;
+        keys_recovered += rs.keys_escrow_recovered;
       }
       const double drop_pct =
-          o.ctl_sent ? 100.0 * static_cast<double>(o.ctl_dropped) /
-                           static_cast<double>(o.ctl_sent)
-                     : 0.0;
+          ctl_sent ? 100.0 * static_cast<double>(ctl_dropped) /
+                         static_cast<double>(ctl_sent)
+                   : 0.0;
       t.add_row({sc.name, name,
-                 o.mean_time.count() ? util::format_double(o.mean_time.mean(), 1)
-                                     : "never",
-                 std::to_string(o.finished) + "/" + std::to_string(o.survivors),
-                 std::to_string(o.crashes),
+                 finished ? util::format_double(
+                                time_sum / static_cast<double>(finished), 1)
+                          : "never",
+                 std::to_string(finished) + "/" + std::to_string(survivors),
+                 std::to_string(crashes),
                  util::format_double(drop_pct, 1) + "%",
-                 std::to_string(o.timeouts), std::to_string(o.refetches),
-                 std::to_string(o.keys_lost), std::to_string(o.keys_recovered)});
+                 std::to_string(timeouts), std::to_string(refetches),
+                 std::to_string(keys_lost), std::to_string(keys_recovered)});
     }
   }
   bench::print_table(t, flags);

@@ -51,63 +51,90 @@ int main(int argc, char** argv) {
                 "large-view, whitewash/Sybil; collusion only degrades to "
                 "Medium (colluders crawl). Baselines: exploitable.");
 
+  const auto protos = protocols::table2_protocols();
+  const std::size_t n_attacks = std::size(kAttacks);
+
+  // One sweep point per attack: the axis value indexes kAttacks.
+  std::vector<double> attack_idx(n_attacks);
+  for (std::size_t i = 0; i < n_attacks; ++i) attack_idx[i] = double(i);
+
+  bench::Sweep sweep(bench::base_config(n, file_mb * util::kMiB, 7));
+  sweep.protocols(protos).axis(
+      "attack", attack_idx, [](bench::RunSpec& s, double idx) {
+        const auto& atk = kAttacks[static_cast<std::size_t>(idx)];
+        s.config.freerider_fraction = 0.25;
+        s.config.freerider_large_view = atk.large_view;
+        s.config.freerider_whitewash = atk.whitewash;
+        s.config.freerider_collude = atk.collude;
+        s.config.freerider_stall_timeout = 2500.0;
+        s.set_tag("attack", atk.name);
+      });
+  auto specs = sweep.build();
+
+  // --ablate-k: T-Chain's flow-control cap k (paper fixes k=2), appended
+  // to the same pool.
+  const bool ablate = flags.get_bool("ablate-k");
+  const std::vector<int> ks = {1, 2, 4, 8};
+  if (ablate) {
+    bench::Sweep ab(bench::base_config(n, file_mb * util::kMiB, 7));
+    ab.protocol("tchain").axis(
+        "k", {1, 2, 4, 8}, [](bench::RunSpec& s, double k) {
+          s.config.freerider_fraction = 0.25;
+          s.config.pending_cap = static_cast<int>(k);
+          s.inspect = [](bt::Swarm& swarm, bt::Protocol&,
+                         bench::RunRecord& rec) {
+            double fr_bytes = 0;
+            std::size_t fr_n = 0;
+            for (const auto* r : swarm.metrics().all()) {
+              if (!r->seeder && r->freerider) {
+                fr_bytes += r->bytes_downloaded;
+                ++fr_n;
+              }
+            }
+            rec.add_extra("fr_mib_mean",
+                          fr_n ? fr_bytes / static_cast<double>(fr_n) /
+                                     static_cast<double>(util::kMiB)
+                               : 0.0);
+          };
+        });
+    for (auto& s : ab.build()) specs.push_back(std::move(s));
+  }
+
+  const auto records = bench::run(specs, flags);
+
   util::AsciiTable t({"attack", "protocol", "freeriders done",
                       "fr mean (s)", "compliant mean (s)", "verdict"});
-
+  std::size_t i = 0;
   for (const auto& atk : kAttacks) {
-    for (const auto& name : protocols::table2_protocols()) {
-      auto proto = protocols::make_protocol(name);
-      auto cfg = bench::base_config(*proto, n, file_mb * util::kMiB, 7);
-      cfg.freerider_fraction = 0.25;
-      cfg.freerider_large_view = atk.large_view;
-      cfg.freerider_whitewash = atk.whitewash;
-      cfg.freerider_collude = atk.collude;
-      cfg.freerider_stall_timeout = 2500.0;
-      const auto r = bench::run_swarm(cfg, *proto);
-      const std::size_t fr_total = r.freerider_finished + r.freerider_unfinished;
+    for (const auto& name : protos) {
+      const auto& rec = records.at(i++);
+      const auto& r = rec.result;
+      const std::size_t fr_total =
+          r.freerider_finished + r.freerider_unfinished;
       t.add_row({atk.name, name,
                  std::to_string(r.freerider_finished) + "/" +
                      std::to_string(fr_total),
-                 r.freerider_mean >= 0 ? util::format_double(r.freerider_mean, 0)
-                                       : "never",
+                 r.freerider_mean >= 0
+                     ? util::format_double(r.freerider_mean, 0)
+                     : "never",
                  util::format_double(r.compliant_mean, 0),
-                 verdict(r.freerider_finished, fr_total, r.freerider_mean,
-                         r.compliant_mean)});
+                 rec.ok ? verdict(r.freerider_finished, fr_total,
+                                  r.freerider_mean, r.compliant_mean)
+                        : "FAILED"});
     }
   }
   bench::print_table(t, flags);
 
-  if (flags.get_bool("ablate-k")) {
+  if (ablate) {
     std::cout << "\nAblation: T-Chain flow-control cap k (paper fixes k=2)\n";
     util::AsciiTable ak({"k", "compliant mean (s)", "uplink util (%)",
                          "freerider bytes (MiB, mean)"});
-    for (int k : {1, 2, 4, 8}) {
-      protocols::TChainProtocol proto;
-      auto cfg = bench::base_config(proto, n, file_mb * util::kMiB, 7);
-      cfg.freerider_fraction = 0.25;
-      cfg.pending_cap = k;
-      bt::Swarm swarm(cfg, proto);
-      swarm.run();
-      double fr_bytes = 0;
-      std::size_t fr_n = 0;
-      for (const auto* rec : swarm.metrics().all()) {
-        if (!rec->seeder && rec->freerider) {
-          fr_bytes += rec->bytes_downloaded;
-          ++fr_n;
-        }
-      }
-      ak.add_row(
-          {std::to_string(k),
-           util::format_double(
-               swarm.metrics().completion_times(bench::F::kCompliant).mean(), 1),
-           util::format_double(
-               100 * swarm.metrics().mean_uplink_utilization(
-                         bench::F::kCompliant, swarm.end_time()),
-               1),
-           util::format_double(fr_n ? fr_bytes / static_cast<double>(fr_n) /
-                                          static_cast<double>(util::kMiB)
-                                    : 0.0,
-                               2)});
+    for (int k : ks) {
+      const auto& rec = records.at(i++);
+      ak.add_row({std::to_string(k),
+                  util::format_double(rec.result.compliant_mean, 1),
+                  util::format_double(100 * rec.result.uplink_utilization, 1),
+                  util::format_double(rec.extra_value("fr_mib_mean", 0.0), 2)});
     }
     bench::print_table(ak, flags);
   }

@@ -1,25 +1,32 @@
-// Shared harness for the figure/table reproduction benches.
+// Shared harness for the figure/table reproduction benches, built on the
+// src/exp/ experiment runner (declarative sweeps, thread-pool execution).
 //
 // Every bench accepts:
 //   --full        paper-scale parameters (slow; the paper used 128 MiB
 //                 files, swarms up to 1000+, 30 seeds)
 //   --seeds N     runs per data point (default 2-3 scaled, 30 full)
 //   --file-mb M   shared file size
-//   --csv         machine-readable output
+//   --csv         machine-readable table output
+//   --jobs N      worker threads (default: all cores; byte-identical
+//                 output at any level)
+//   --records-csv / --records-json [PATH|-]
+//                 dump the raw per-run RunRecords as CSV / JSON
+//   --timing      include wall-clock columns in the record dump (breaks
+//                 byte-identity across --jobs levels; off by default)
 // plus bench-specific sweeps. Scaled defaults are chosen so each bench
 // finishes in tens of seconds on one core while preserving the paper's
 // qualitative shape (see EXPERIMENTS.md).
 #pragma once
 
+#include <fstream>
 #include <iostream>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/analysis/metrics.h"
 #include "src/bt/swarm.h"
+#include "src/exp/runner.h"
 #include "src/protocols/registry.h"
-#include "src/protocols/tchain.h"
 #include "src/trace/arrival.h"
 #include "src/util/flags.h"
 #include "src/util/stats.h"
@@ -28,51 +35,23 @@
 namespace tc::bench {
 
 using F = analysis::SwarmMetrics::PeerFilter;
+using exp::RunRecord;
+using exp::RunSpec;
+using exp::Sweep;
 
-struct RunResult {
-  double compliant_mean = 0.0;       // mean download completion time (s)
-  std::size_t compliant_finished = 0;
-  std::size_t compliant_unfinished = 0;
-  double freerider_mean = -1.0;      // < 0: none finished
-  std::size_t freerider_finished = 0;
-  std::size_t freerider_unfinished = 0;
-  double uplink_utilization = 0.0;   // 0..1 (compliant)
-  double end_time = 0.0;
-  util::Distribution compliant_times;
-  util::Distribution freerider_times;
-};
+// Kept as an alias so downstream code keeps compiling; the type itself
+// lives in the library now (src/exp/results.h).
+using RunResult = exp::RunResult;
 
-// Runs one swarm to completion and summarizes it. `arrivals` empty =>
-// flash crowd.
-inline RunResult run_swarm(const bt::SwarmConfig& cfg, bt::Protocol& proto,
-                           std::vector<util::SimTime> arrivals = {}) {
-  bt::Swarm swarm(cfg, proto, std::move(arrivals));
-  swarm.run();
-  const auto& m = swarm.metrics();
-  RunResult r;
-  r.compliant_times = m.completion_times(F::kCompliant);
-  r.freerider_times = m.completion_times(F::kFreeRiders);
-  r.compliant_mean = r.compliant_times.mean();
-  r.compliant_finished = r.compliant_times.count();
-  r.compliant_unfinished = m.unfinished_count(F::kCompliant);
-  r.freerider_finished = r.freerider_times.count();
-  r.freerider_unfinished = m.unfinished_count(F::kFreeRiders);
-  if (r.freerider_finished > 0) r.freerider_mean = r.freerider_times.mean();
-  r.uplink_utilization =
-      m.mean_uplink_utilization(F::kCompliant, swarm.end_time());
-  r.end_time = swarm.end_time();
-  return r;
-}
-
-// Builds a config with the protocol's piece size applied.
-inline bt::SwarmConfig base_config(const bt::Protocol& proto,
-                                   std::size_t leechers,
+// Base config shared by the paper benches. Piece size is left at its
+// default here: Sweep::build() sets it per protocol (§IV-A), or pin it
+// with Sweep::pin_piece_bytes().
+inline bt::SwarmConfig base_config(std::size_t leechers,
                                    util::ByteCount file_bytes,
-                                   std::uint64_t seed) {
+                                   std::uint64_t seed = 1) {
   bt::SwarmConfig cfg;
   cfg.leecher_count = leechers;
   cfg.file_bytes = file_bytes;
-  cfg.piece_bytes = proto.default_piece_bytes();
   cfg.seed = seed;
   cfg.max_sim_time = 300'000.0;
   return cfg;
@@ -90,6 +69,75 @@ inline double optimal_time(const bt::SwarmConfig& cfg) {
   return analysis::optimal_completion_time(
       static_cast<double>(cfg.file_bytes),
       util::kbps_to_bytes_per_sec(cfg.seeder_upload_kbps), ups);
+}
+
+// Per-data-point aggregation: consumes the `seeds` consecutive records
+// starting at records[i] (seeds are the innermost sweep axis, so the
+// repetitions of one data point are contiguous). Failed runs are skipped
+// and counted.
+struct PointStats {
+  util::RunningStats compliant;  // compliant mean completion times
+  util::RunningStats uplink;     // uplink utilization (0..1)
+  util::RunningStats fr_mean;    // freerider mean times (finished runs only)
+  std::size_t fr_done = 0, fr_total = 0;
+  std::size_t failed = 0;
+};
+
+inline PointStats accumulate(const std::vector<RunRecord>& records,
+                             std::size_t& i, std::size_t seeds) {
+  PointStats p;
+  for (std::size_t s = 0; s < seeds; ++s) {
+    const auto& r = records.at(i++);
+    if (!r.ok) {
+      ++p.failed;
+      continue;
+    }
+    p.compliant.add(r.result.compliant_mean);
+    p.uplink.add(r.result.uplink_utilization);
+    if (r.result.freerider_mean >= 0) p.fr_mean.add(r.result.freerider_mean);
+    p.fr_done += r.result.freerider_finished;
+    p.fr_total += r.result.freerider_finished + r.result.freerider_unfinished;
+  }
+  return p;
+}
+
+// Concatenates the specs of several sweeps (multi-panel figures run all
+// their panels through one pool) and re-indexes labels-preserving.
+inline std::vector<RunSpec> concat(std::initializer_list<const Sweep*> sweeps) {
+  std::vector<RunSpec> specs;
+  for (const Sweep* s : sweeps) {
+    auto part = s->build();
+    for (auto& p : part) specs.push_back(std::move(p));
+  }
+  return specs;
+}
+
+// Runs the specs with --jobs/--quiet from the flags and dumps raw records
+// if --records-csv / --records-json were given.
+inline std::vector<RunRecord> run(const std::vector<RunSpec>& specs,
+                                  const util::Flags& flags) {
+  const auto records =
+      exp::run_all(specs, exp::runner_options_from_flags(flags));
+  const bool timing = flags.get_bool("timing");
+  for (const char* kind : {"records-csv", "records-json"}) {
+    if (!flags.has(kind)) continue;
+    const std::string dest = flags.get_string(kind, "-");
+    const bool json = std::string(kind) == "records-json";
+    if (dest == "-" || dest == "true") {
+      json ? exp::write_json(std::cout, records, timing)
+           : exp::write_csv(std::cout, records, timing);
+    } else {
+      std::ofstream out(dest);
+      json ? exp::write_json(out, records, timing)
+           : exp::write_csv(out, records, timing);
+    }
+  }
+  return records;
+}
+
+inline std::vector<RunRecord> run(const Sweep& sweep,
+                                  const util::Flags& flags) {
+  return run(sweep.build(), flags);
 }
 
 inline void print_table(const util::AsciiTable& t, const util::Flags& flags) {

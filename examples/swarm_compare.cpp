@@ -1,14 +1,15 @@
 // Side-by-side comparison of the four incentive protocols (the paper's
 // evaluation cast) on the same workload, sweeping the free-rider fraction.
-// This is Figure 7/9 in miniature.
+// This is Figure 7/9 in miniature, and the smallest example of driving the
+// src/exp/ experiment runner directly: declare a Sweep, run it across all
+// cores, read the deterministic records back.
 //
 // Usage: swarm_compare [--leechers N] [--file-mb M] [--seeds K]
-//                      [--freerider-fracs 0,0.25]
+//                      [--freerider-fracs 0,0.25] [--jobs N]
 #include <iostream>
 #include <sstream>
 
-#include "src/analysis/metrics.h"
-#include "src/bt/swarm.h"
+#include "src/exp/runner.h"
 #include "src/protocols/registry.h"
 #include "src/util/flags.h"
 #include "src/util/stats.h"
@@ -27,48 +28,57 @@ std::vector<double> parse_fracs(const std::string& csv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  tc::util::Flags flags(argc, argv);
+  using namespace tc;
+  util::Flags flags(argc, argv);
   const auto leechers = static_cast<std::size_t>(flags.get_int("leechers", 80));
   const auto file_mb = flags.get_int("file-mb", 4);
-  const auto seeds = static_cast<std::uint64_t>(flags.get_int("seeds", 2));
+  const auto seeds = static_cast<std::size_t>(flags.get_int("seeds", 2));
   const auto fracs = parse_fracs(flags.get_string("freerider-fracs", "0,0.25"));
+  const auto protos = protocols::paper_protocols();
 
-  tc::util::AsciiTable t({"protocol", "free-riders", "compliant mean (s)",
-                          "ci95", "freerider mean (s)", "freeriders done",
-                          "uplink util (%)"});
+  bt::SwarmConfig base;
+  base.leecher_count = leechers;
+  base.file_bytes = file_mb * util::kMiB;
+  base.max_sim_time = flags.get_double("max-time", 20'000.0);
 
-  for (const auto& name : tc::protocols::paper_protocols()) {
-    for (double frac : fracs) {
-      tc::util::RunningStats compliant_mean, util_mean, fr_mean;
+  // protocols x fracs x seeds; Sweep::build() picks each protocol's piece
+  // size, the runner fans the runs out over the worker pool.
+  exp::Sweep sweep(base);
+  sweep.protocols(protos)
+      .seeds(seeds)
+      .axis("freeriders", fracs, [](exp::RunSpec& s, double frac) {
+        s.config.freerider_fraction = frac;
+      });
+  const auto records =
+      exp::run_sweep(sweep, exp::runner_options_from_flags(flags));
+
+  util::AsciiTable t({"protocol", "free-riders", "compliant mean (s)",
+                      "ci95", "freerider mean (s)", "freeriders done",
+                      "uplink util (%)"});
+  // Records are in sweep order: frac (axis) outermost, then protocol,
+  // then seed. The table wants protocol-major rows, so index directly.
+  for (std::size_t pi = 0; pi < protos.size(); ++pi) {
+    for (std::size_t fi = 0; fi < fracs.size(); ++fi) {
+      util::RunningStats compliant_mean, util_mean, fr_mean;
       std::size_t fr_done = 0, fr_total = 0;
-      for (std::uint64_t s = 1; s <= seeds; ++s) {
-        auto proto = tc::protocols::make_protocol(name);
-        tc::bt::SwarmConfig cfg;
-        cfg.leecher_count = leechers;
-        cfg.file_bytes = file_mb * tc::util::kMiB;
-        cfg.piece_bytes = proto->default_piece_bytes();
-        cfg.freerider_fraction = frac;
-        cfg.seed = s;
-        cfg.max_sim_time = flags.get_double("max-time", 20'000.0);
-        tc::bt::Swarm swarm(cfg, *proto);
-        swarm.run();
-
-        using F = tc::analysis::SwarmMetrics::PeerFilter;
-        const auto& m = swarm.metrics();
-        compliant_mean.add(m.completion_times(F::kCompliant).mean());
-        util_mean.add(
-            m.mean_uplink_utilization(F::kCompliant, swarm.end_time()));
-        const auto fr = m.completion_times(F::kFreeRiders);
-        if (fr.count() > 0) fr_mean.add(fr.mean());
-        fr_done += fr.count();
-        fr_total += fr.count() + m.unfinished_count(F::kFreeRiders);
+      for (std::size_t s = 0; s < seeds; ++s) {
+        const auto& r =
+            records.at((fi * protos.size() + pi) * seeds + s);
+        if (!r.ok) continue;
+        compliant_mean.add(r.result.compliant_mean);
+        util_mean.add(r.result.uplink_utilization);
+        if (r.result.freerider_mean >= 0) fr_mean.add(r.result.freerider_mean);
+        fr_done += r.result.freerider_finished;
+        fr_total +=
+            r.result.freerider_finished + r.result.freerider_unfinished;
       }
-      t.add_row({name, tc::util::format_double(100 * frac, 0) + "%",
-                 tc::util::format_double(compliant_mean.mean(), 1),
-                 "+-" + tc::util::format_double(compliant_mean.ci95_half_width(), 1),
-                 fr_mean.count() ? tc::util::format_double(fr_mean.mean(), 1) : "never",
+      t.add_row({protos[pi], util::format_double(100 * fracs[fi], 0) + "%",
+                 util::format_double(compliant_mean.mean(), 1),
+                 "+-" + util::format_double(compliant_mean.ci95_half_width(), 1),
+                 fr_mean.count() ? util::format_double(fr_mean.mean(), 1)
+                                 : "never",
                  std::to_string(fr_done) + "/" + std::to_string(fr_total),
-                 tc::util::format_double(100 * util_mean.mean(), 1)});
+                 util::format_double(100 * util_mean.mean(), 1)});
     }
   }
   t.print(std::cout);

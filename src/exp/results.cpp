@@ -1,0 +1,190 @@
+#include "src/exp/results.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace tc::exp {
+
+namespace {
+
+// %.10g keeps full useful precision while staying stable for the
+// byte-identity contract (same value -> same text, locale-independent).
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+std::string num(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  return buf;
+}
+
+// Union of tag (or extra) keys across the sweep, first-appearance order,
+// so the column set is a function of the spec list alone.
+template <typename Pairs>
+std::vector<std::string> key_union(const std::vector<RunRecord>& records,
+                                   Pairs RunRecord::* member) {
+  std::vector<std::string> keys;
+  for (const auto& r : records) {
+    for (const auto& [k, v] : r.*member) {
+      bool seen = false;
+      for (const auto& existing : keys) {
+        if (existing == k) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) keys.push_back(k);
+    }
+  }
+  return keys;
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// The scalar result columns shared by both writers: name + getter.
+struct ResultColumn {
+  const char* name;
+  std::string (*get)(const RunRecord&);
+};
+
+const ResultColumn kResultColumns[] = {
+    {"compliant_mean", [](const RunRecord& r) { return num(r.result.compliant_mean); }},
+    {"compliant_finished", [](const RunRecord& r) { return num(r.result.compliant_finished); }},
+    {"compliant_unfinished", [](const RunRecord& r) { return num(r.result.compliant_unfinished); }},
+    {"freerider_mean", [](const RunRecord& r) { return num(r.result.freerider_mean); }},
+    {"freerider_finished", [](const RunRecord& r) { return num(r.result.freerider_finished); }},
+    {"freerider_unfinished", [](const RunRecord& r) { return num(r.result.freerider_unfinished); }},
+    {"uplink_utilization", [](const RunRecord& r) { return num(r.result.uplink_utilization); }},
+    {"end_time", [](const RunRecord& r) { return num(r.result.end_time); }},
+    {"sim_events", [](const RunRecord& r) { return num(r.sim_events); }},
+    {"crashes", [](const RunRecord& r) { return num(r.result.resilience.crashes); }},
+    {"churn_departures", [](const RunRecord& r) { return num(r.result.resilience.churn_departures); }},
+    {"control_dropped", [](const RunRecord& r) { return num(r.result.resilience.control_dropped); }},
+    {"tx_timeouts", [](const RunRecord& r) { return num(r.result.resilience.transactions_timed_out); }},
+    {"keys_lost", [](const RunRecord& r) { return num(r.result.resilience.keys_lost); }},
+    {"keys_escrow_recovered", [](const RunRecord& r) { return num(r.result.resilience.keys_escrow_recovered); }},
+    {"piece_refetches", [](const RunRecord& r) { return num(r.result.resilience.piece_refetches); }},
+};
+
+}  // namespace
+
+const std::string* RunRecord::tag(const std::string& key) const {
+  for (const auto& [k, v] : tags) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double RunRecord::extra_value(const std::string& key, double def) const {
+  for (const auto& [k, v] : extra) {
+    if (k == key) return v;
+  }
+  return def;
+}
+
+void write_csv(std::ostream& os, const std::vector<RunRecord>& records,
+               bool include_timing) {
+  const auto tag_keys = key_union(records, &RunRecord::tags);
+  const auto extra_keys = key_union(records, &RunRecord::extra);
+
+  os << "index,protocol,seed,label";
+  for (const auto& k : tag_keys) os << ',' << csv_escape(k);
+  os << ",ok,error";
+  for (const auto& col : kResultColumns) os << ',' << col.name;
+  for (const auto& k : extra_keys) os << ',' << csv_escape(k);
+  if (include_timing) os << ",wall_seconds,events_per_sec";
+  os << '\n';
+
+  for (const auto& r : records) {
+    os << num(r.index) << ',' << csv_escape(r.protocol) << ',' << num(r.seed)
+       << ',' << csv_escape(r.label);
+    for (const auto& k : tag_keys) {
+      const std::string* v = r.tag(k);
+      os << ',' << (v ? csv_escape(*v) : "");
+    }
+    os << ',' << (r.ok ? "1" : "0") << ',' << csv_escape(r.error);
+    for (const auto& col : kResultColumns) os << ',' << col.get(r);
+    for (const auto& k : extra_keys) {
+      bool found = false;
+      for (const auto& [ek, ev] : r.extra) {
+        if (ek == k) {
+          os << ',' << num(ev);
+          found = true;
+          break;
+        }
+      }
+      if (!found) os << ',';
+    }
+    if (include_timing)
+      os << ',' << num(r.wall_seconds) << ',' << num(r.events_per_sec());
+    os << '\n';
+  }
+}
+
+void write_json(std::ostream& os, const std::vector<RunRecord>& records,
+                bool include_timing) {
+  os << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    os << "  {\"index\":" << num(r.index)
+       << ",\"protocol\":\"" << json_escape(r.protocol) << "\""
+       << ",\"seed\":" << num(r.seed)
+       << ",\"label\":\"" << json_escape(r.label) << "\"";
+    if (!r.tags.empty()) {
+      os << ",\"tags\":{";
+      for (std::size_t t = 0; t < r.tags.size(); ++t) {
+        if (t) os << ',';
+        os << '"' << json_escape(r.tags[t].first) << "\":\""
+           << json_escape(r.tags[t].second) << '"';
+      }
+      os << '}';
+    }
+    os << ",\"ok\":" << (r.ok ? "true" : "false");
+    if (!r.error.empty()) os << ",\"error\":\"" << json_escape(r.error) << "\"";
+    for (const auto& col : kResultColumns)
+      os << ",\"" << col.name << "\":" << col.get(r);
+    for (const auto& [k, v] : r.extra)
+      os << ",\"" << json_escape(k) << "\":" << num(v);
+    if (include_timing)
+      os << ",\"wall_seconds\":" << num(r.wall_seconds)
+         << ",\"events_per_sec\":" << num(r.events_per_sec());
+    os << '}' << (i + 1 < records.size() ? "," : "") << '\n';
+  }
+  os << "]\n";
+}
+
+}  // namespace tc::exp

@@ -1,0 +1,88 @@
+// Per-run results of the experiment runner: the swarm summary every bench
+// consumes (moved here from bench/common.h), per-run observability (wall
+// time, simulated events, events/sec), and deterministic CSV/JSON writers.
+//
+// Determinism contract: every field of RunRecord except the wall-clock
+// observability (wall_seconds, events_per_sec()) is a pure function of the
+// RunSpec that produced it, so two executions of the same sweep — at any
+// --jobs level — serialize byte-identically as long as timing columns stay
+// excluded (the writers' default).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/metrics.h"
+#include "src/util/stats.h"
+
+namespace tc::exp {
+
+// Summary of one swarm run (was bench::RunResult).
+struct RunResult {
+  double compliant_mean = 0.0;       // mean download completion time (s)
+  std::size_t compliant_finished = 0;
+  std::size_t compliant_unfinished = 0;
+  double freerider_mean = -1.0;      // < 0: none finished
+  std::size_t freerider_finished = 0;
+  std::size_t freerider_unfinished = 0;
+  double uplink_utilization = 0.0;   // 0..1 (compliant)
+  double end_time = 0.0;
+  util::Distribution compliant_times;
+  util::Distribution freerider_times;
+  // Fault/recovery counters (all zero for fault-free runs).
+  analysis::ResilienceStats resilience;
+};
+
+// One executed RunSpec: identity copied from the spec so the record is
+// self-describing, outcome, and observability.
+struct RunRecord {
+  // --- Identity -----------------------------------------------------------
+  std::size_t index = 0;             // position in the sweep's spec list
+  std::string protocol;
+  std::string label;
+  std::uint64_t seed = 0;
+  std::vector<std::pair<std::string, std::string>> tags;
+
+  // --- Outcome ------------------------------------------------------------
+  // false: the run threw; `error` holds the exception message and `result`
+  // is default-constructed. A failed run never aborts the rest of a sweep.
+  bool ok = false;
+  std::string error;
+  RunResult result;
+
+  // Free-form per-run measurements filled by RunSpec::inspect; serialized
+  // as extra CSV/JSON columns (union of keys across the sweep).
+  std::vector<std::pair<std::string, double>> extra;
+
+  // --- Observability ------------------------------------------------------
+  double wall_seconds = 0.0;         // NOT deterministic; excluded from CSV
+  std::uint64_t sim_events = 0;      // simulator events processed (deterministic)
+
+  double events_per_sec() const {
+    return wall_seconds > 0.0 ? static_cast<double>(sim_events) / wall_seconds
+                              : 0.0;
+  }
+
+  const std::string* tag(const std::string& key) const;
+  void add_extra(const std::string& key, double value) {
+    extra.emplace_back(key, value);
+  }
+  // Value recorded under `key`, or `def` if the run never measured it.
+  double extra_value(const std::string& key, double def = 0.0) const;
+};
+
+// Deterministic CSV: identity, outcome, result and extra columns. Tag and
+// extra columns are the union across records in first-appearance order.
+// `include_timing` appends wall_seconds / events_per_sec — useful
+// interactively, but it breaks byte-identity across --jobs levels.
+void write_csv(std::ostream& os, const std::vector<RunRecord>& records,
+               bool include_timing = false);
+
+// Same content as the CSV, as a JSON array of objects.
+void write_json(std::ostream& os, const std::vector<RunRecord>& records,
+                bool include_timing = false);
+
+}  // namespace tc::exp

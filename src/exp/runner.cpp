@@ -1,0 +1,140 @@
+#include "src/exp/runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <thread>
+
+#include "src/analysis/metrics.h"
+#include "src/bt/swarm.h"
+#include "src/protocols/registry.h"
+
+namespace tc::exp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+RunResult summarize(const bt::Swarm& swarm) {
+  using F = analysis::SwarmMetrics::PeerFilter;
+  const auto& m = swarm.metrics();
+  RunResult r;
+  r.compliant_times = m.completion_times(F::kCompliant);
+  r.freerider_times = m.completion_times(F::kFreeRiders);
+  r.compliant_mean = r.compliant_times.mean();
+  r.compliant_finished = r.compliant_times.count();
+  r.compliant_unfinished = m.unfinished_count(F::kCompliant);
+  r.freerider_finished = r.freerider_times.count();
+  r.freerider_unfinished = m.unfinished_count(F::kFreeRiders);
+  if (r.freerider_finished > 0) r.freerider_mean = r.freerider_times.mean();
+  r.uplink_utilization =
+      m.mean_uplink_utilization(F::kCompliant, swarm.end_time());
+  r.end_time = swarm.end_time();
+  r.resilience = m.resilience();
+  return r;
+}
+
+}  // namespace
+
+RunnerOptions runner_options_from_flags(const util::Flags& flags) {
+  RunnerOptions opts;
+  const auto jobs = flags.get_int("jobs", 0);
+  opts.jobs = jobs > 0 ? static_cast<std::size_t>(jobs) : 0;
+  opts.quiet = flags.get_bool("quiet");
+  return opts;
+}
+
+std::size_t effective_jobs(const RunnerOptions& opts, std::size_t spec_count) {
+  std::size_t jobs = opts.jobs;
+  if (jobs == 0) {
+    jobs = std::thread::hardware_concurrency();
+    if (jobs == 0) jobs = 1;
+  }
+  if (jobs > spec_count) jobs = spec_count;
+  return jobs == 0 ? 1 : jobs;
+}
+
+RunRecord run_one(const RunSpec& spec, std::size_t index) {
+  RunRecord rec;
+  rec.index = index;
+  rec.protocol = spec.protocol;
+  rec.label = spec.label;
+  rec.seed = spec.config.seed;
+  rec.tags = spec.tags;
+  const auto t0 = Clock::now();
+  try {
+    auto proto = protocols::make_protocol(spec.protocol);
+    bt::Swarm swarm(spec.config, *proto, spec.arrivals);
+    if (spec.setup) spec.setup(swarm);
+    swarm.run();
+    rec.result = summarize(swarm);
+    rec.sim_events = swarm.simulator().events_processed();
+    if (spec.inspect) spec.inspect(swarm, *proto, rec);
+    rec.ok = true;
+  } catch (const std::exception& e) {
+    rec.ok = false;
+    rec.error = e.what();
+  } catch (...) {
+    rec.ok = false;
+    rec.error = "unknown exception";
+  }
+  rec.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  return rec;
+}
+
+std::vector<RunRecord> run_all(const std::vector<RunSpec>& specs,
+                               const RunnerOptions& opts) {
+  std::vector<RunRecord> records(specs.size());
+  if (specs.empty()) return records;
+
+  const std::size_t jobs = effective_jobs(opts, specs.size());
+  const auto t0 = Clock::now();
+
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < specs.size(); ++i)
+      records[i] = run_one(specs[i], i);
+  } else {
+    // Work-stealing by atomic counter: each worker claims the next unrun
+    // spec and writes its record into the spec's own slot, so the result
+    // order is spec order no matter how threads interleave.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= specs.size()) return;
+        records[i] = run_one(specs[i], i);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  if (!opts.quiet) {
+    const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+    std::uint64_t events = 0;
+    std::size_t failed = 0;
+    for (const auto& r : records) {
+      events += r.sim_events;
+      if (!r.ok) ++failed;
+    }
+    std::fprintf(stderr,
+                 "[exp] %zu runs on %zu thread%s in %.2fs "
+                 "(%.3g sim events, %.3g events/s)%s",
+                 records.size(), jobs, jobs == 1 ? "" : "s", wall,
+                 static_cast<double>(events),
+                 wall > 0 ? static_cast<double>(events) / wall : 0.0,
+                 failed ? "" : "\n");
+    if (failed) std::fprintf(stderr, ", %zu FAILED\n", failed);
+  }
+  return records;
+}
+
+std::vector<RunRecord> run_sweep(const Sweep& sweep, const RunnerOptions& opts) {
+  return run_all(sweep.build(), opts);
+}
+
+}  // namespace tc::exp

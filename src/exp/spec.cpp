@@ -1,0 +1,120 @@
+#include "src/exp/spec.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/protocols/registry.h"
+
+namespace tc::exp {
+
+void RunSpec::set_tag(const std::string& key, const std::string& value) {
+  for (auto& [k, v] : tags) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  tags.emplace_back(key, value);
+}
+
+const std::string* RunSpec::tag(const std::string& key) const {
+  for (const auto& [k, v] : tags) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string format_axis_value(double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+Sweep::Sweep(bt::SwarmConfig base) : base_(base) {}
+
+Sweep& Sweep::protocols(std::vector<std::string> names) {
+  protocols_ = std::move(names);
+  return *this;
+}
+
+Sweep& Sweep::seeds(std::uint64_t count, std::uint64_t first) {
+  seed_count_ = count;
+  first_seed_ = first;
+  return *this;
+}
+
+Sweep& Sweep::axis(std::string name, std::vector<double> values,
+                   std::function<void(RunSpec&, double)> apply) {
+  axes_.push_back(Axis{std::move(name), std::move(values), std::move(apply)});
+  return *this;
+}
+
+Sweep& Sweep::for_each(std::function<void(RunSpec&)> fn) {
+  finalizers_.push_back(std::move(fn));
+  return *this;
+}
+
+Sweep& Sweep::pin_piece_bytes(bool pin) {
+  pin_piece_bytes_ = pin;
+  return *this;
+}
+
+std::size_t Sweep::run_count() const {
+  std::size_t n = protocols_.size() * seed_count_;
+  for (const auto& a : axes_) n *= a.values.size();
+  return n;
+}
+
+std::vector<RunSpec> Sweep::build() const {
+  std::vector<RunSpec> specs;
+  specs.reserve(run_count());
+
+  // Odometer over the axes: axis 0 is outermost.
+  std::vector<std::size_t> idx(axes_.size(), 0);
+  const auto advance = [&]() -> bool {
+    for (std::size_t a = axes_.size(); a-- > 0;) {
+      if (++idx[a] < axes_[a].values.size()) return true;
+      idx[a] = 0;
+    }
+    return false;
+  };
+
+  bool more = true;
+  while (more) {
+    for (const auto& name : protocols_) {
+      // One registry query per (axis point, protocol), not per seed.
+      const util::ByteCount proto_piece =
+          pin_piece_bytes_ ? base_.piece_bytes
+                           : protocols::make_protocol(name)->default_piece_bytes();
+      for (std::uint64_t s = 0; s < seed_count_; ++s) {
+        RunSpec spec;
+        spec.protocol = name;
+        spec.config = base_;
+        spec.config.seed = first_seed_ + s;
+        spec.config.piece_bytes = proto_piece;
+        std::string label;
+        for (std::size_t a = 0; a < axes_.size(); ++a) {
+          const double v = axes_[a].values[idx[a]];
+          axes_[a].apply(spec, v);
+          const std::string text = format_axis_value(v);
+          spec.set_tag(axes_[a].name, text);
+          if (!label.empty()) label += ' ';
+          label += axes_[a].name + '=' + text;
+        }
+        spec.label = label;
+        for (const auto& fn : finalizers_) fn(spec);
+        specs.push_back(std::move(spec));
+      }
+    }
+    more = !axes_.empty() && advance();
+    if (axes_.empty()) break;
+  }
+  return specs;
+}
+
+}  // namespace tc::exp

@@ -1,0 +1,108 @@
+// Declarative experiment specification.
+//
+// A RunSpec fully describes one swarm run — protocol name, SwarmConfig
+// (seed and FaultPlan included), arrival trace — so that executing it is a
+// pure function spec -> RunRecord: the runner (src/exp/runner.h) constructs
+// a fresh Protocol and Swarm per spec, and no state is shared between runs.
+//
+// A Sweep expands parameter axes x protocols x seeds into the flat RunSpec
+// list the paper's evaluation walks (five protocols, several axes, 30 seeds
+// per data point), in a deterministic order: axes in declaration order
+// (outermost first), then protocols, then seeds innermost — so consecutive
+// records are the seed-repetitions of one data point.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/bt/config.h"
+#include "src/exp/results.h"
+#include "src/util/units.h"
+
+namespace tc::bt {
+class Swarm;
+class Protocol;
+}  // namespace tc::bt
+
+namespace tc::exp {
+
+struct RunSpec {
+  std::string protocol = "tchain";   // protocols::make_protocol name
+  bt::SwarmConfig config;            // includes seed and FaultPlan
+  // Leecher join times; empty => the swarm's 10 s flash crowd default.
+  std::vector<util::SimTime> arrivals;
+  // Human-readable data-point annotation, e.g. "swarm=200 fr=0.25".
+  std::string label;
+  // Machine-readable axis coordinates, serialized as CSV columns.
+  std::vector<std::pair<std::string, std::string>> tags;
+
+  // Optional hooks, both run on the worker thread that owns this run and
+  // must capture only per-spec state (the determinism and thread-safety
+  // contract: disjoint specs touch disjoint data).
+  //   setup: after construction, before Swarm::run() — e.g. schedule
+  //          samplers on the simulator, enable piece traces.
+  //   inspect: after the run, before the record is returned — read
+  //            protocol/metrics internals into RunRecord::extra.
+  std::function<void(bt::Swarm&)> setup;
+  std::function<void(bt::Swarm&, bt::Protocol&, RunRecord&)> inspect;
+
+  void set_tag(const std::string& key, const std::string& value);
+  const std::string* tag(const std::string& key) const;
+};
+
+// Formats an axis value for tags/labels: integers without decimals,
+// fractions with just enough digits ("200", "0.25").
+std::string format_axis_value(double v);
+
+class Sweep {
+ public:
+  // `base` seeds every spec's SwarmConfig (file size, attack knobs, ...).
+  explicit Sweep(bt::SwarmConfig base = {});
+
+  Sweep& protocols(std::vector<std::string> names);
+  Sweep& protocol(std::string name) { return protocols({std::move(name)}); }
+
+  // Seed repetitions per data point: seeds `first .. first+count-1`.
+  Sweep& seeds(std::uint64_t count, std::uint64_t first = 1);
+
+  // Adds a parameter axis. For each value, `apply(spec, value)` patches the
+  // spec; the value is also tagged as `name=format_axis_value(value)`.
+  // Multiple axes expand as a cartesian product in declaration order.
+  Sweep& axis(std::string name, std::vector<double> values,
+              std::function<void(RunSpec&, double)> apply);
+
+  // Per-spec finalizer, applied after protocol/seed/axes are set — the
+  // place to generate per-seed arrival traces or attach hooks.
+  Sweep& for_each(std::function<void(RunSpec&)> fn);
+
+  // Keep base.piece_bytes instead of each protocol's default_piece_bytes()
+  // (Figure 13 pins 64 KiB for every protocol).
+  Sweep& pin_piece_bytes(bool pin = true);
+
+  // Expands to the flat spec list. Unless pinned, each spec's piece size is
+  // the protocol's default (paper §IV-A: 256 KiB BT/PropShare, 64 KiB
+  // T-Chain/FairTorrent).
+  std::vector<RunSpec> build() const;
+
+  std::size_t run_count() const;
+
+ private:
+  struct Axis {
+    std::string name;
+    std::vector<double> values;
+    std::function<void(RunSpec&, double)> apply;
+  };
+
+  bt::SwarmConfig base_;
+  std::vector<std::string> protocols_ = {"tchain"};
+  std::uint64_t seed_count_ = 1;
+  std::uint64_t first_seed_ = 1;
+  std::vector<Axis> axes_;
+  std::vector<std::function<void(RunSpec&)>> finalizers_;
+  bool pin_piece_bytes_ = false;
+};
+
+}  // namespace tc::exp

@@ -1,15 +1,15 @@
 #include "src/sim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
-#include <stdexcept>
 
 namespace tc::sim {
 
 Simulator::EventId Simulator::schedule_at(SimTime t, std::function<void()> fn) {
   if (t < now_) t = now_;  // never schedule in the past
   const std::uint64_t id = next_id_++;
-  queue_.push(Entry{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
+  heap_.push_back(Entry{t, next_seq_++, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), FiresLater{});
   return EventId{id};
 }
 
@@ -19,37 +19,47 @@ Simulator::EventId Simulator::schedule_in(SimTime delay, std::function<void()> f
 }
 
 bool Simulator::cancel(EventId id) {
-  // The heap entry stays behind as a tombstone and is skipped on pop.
-  return callbacks_.erase(id.id) > 0;
+  // Unknown, already fired, or already cancelled: nothing to do. The heap
+  // entry stays behind as a tombstone and is skipped on pop.
+  if (!id.valid() || id.id >= next_id_ || done(id.id)) return false;
+  mark_done(id.id);
+  ++cancelled_pending_;
+  return true;
+}
+
+Simulator::Entry Simulator::pop_entry() {
+  std::pop_heap(heap_.begin(), heap_.end(), FiresLater{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  return e;
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    const Entry e = queue_.top();
-    auto it = callbacks_.find(e.id);
-    if (it == callbacks_.end()) {
-      queue_.pop();  // cancelled
+  while (!heap_.empty()) {
+    Entry e = pop_entry();
+    if (done(e.id)) {  // tombstone of a cancelled event
+      --cancelled_pending_;
       continue;
     }
     assert(e.t >= now_);
     now_ = e.t;
-    // Move the callback out before erasing: it may schedule/cancel events.
-    std::function<void()> fn = std::move(it->second);
-    callbacks_.erase(it);
-    queue_.pop();
+    mark_done(e.id);
     ++processed_;
-    fn();
+    e.fn();  // may schedule/cancel freely; `e` is off the heap already
     return true;
   }
   return false;
 }
 
 void Simulator::run(SimTime until) {
-  while (!queue_.empty()) {
-    // Skip tombstones to see the real next event time.
-    while (!queue_.empty() && !callbacks_.count(queue_.top().id)) queue_.pop();
-    if (queue_.empty()) break;
-    if (queue_.top().t > until) break;
+  while (!heap_.empty()) {
+    // Drop tombstones to see the real next event time.
+    while (!heap_.empty() && done(heap_.front().id)) {
+      pop_entry();
+      --cancelled_pending_;
+    }
+    if (heap_.empty()) break;
+    if (heap_.front().t > until) break;
     step();
   }
 }

@@ -1,0 +1,99 @@
+// CSV/JSON record writers: stable schema, escaping, timing opt-in.
+#include "src/exp/results.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tc::exp {
+namespace {
+
+RunRecord sample_record() {
+  RunRecord r;
+  r.index = 0;
+  r.protocol = "tchain";
+  r.label = "swarm=10";
+  r.seed = 1;
+  r.tags = {{"swarm", "10"}};
+  r.ok = true;
+  r.result.compliant_mean = 12.5;
+  r.result.compliant_finished = 10;
+  r.result.uplink_utilization = 0.75;
+  r.result.end_time = 99.25;
+  r.sim_events = 1234;
+  r.wall_seconds = 0.5;
+  r.add_extra("window_mean", 3.25);
+  return r;
+}
+
+TEST(WriteCsv, HeaderAndRowRoundTrip) {
+  std::ostringstream os;
+  write_csv(os, {sample_record()}, /*include_timing=*/false);
+  const std::string out = os.str();
+  // Header names the tag and extra columns.
+  EXPECT_NE(out.find("index,protocol,seed,label,swarm,ok,error"),
+            std::string::npos);
+  EXPECT_NE(out.find("window_mean"), std::string::npos);
+  EXPECT_NE(out.find("tchain"), std::string::npos);
+  EXPECT_NE(out.find("12.5"), std::string::npos);
+  // No wall-clock column without --timing (byte-identity contract).
+  EXPECT_EQ(out.find("wall_seconds"), std::string::npos);
+}
+
+TEST(WriteCsv, TimingColumnsAreOptIn) {
+  std::ostringstream os;
+  write_csv(os, {sample_record()}, /*include_timing=*/true);
+  EXPECT_NE(os.str().find("wall_seconds"), std::string::npos);
+  EXPECT_NE(os.str().find("events_per_sec"), std::string::npos);
+}
+
+TEST(WriteCsv, EscapesCommasAndQuotes) {
+  auto r = sample_record();
+  r.ok = false;
+  r.error = "bad, \"worse\"";
+  std::ostringstream os;
+  write_csv(os, {r}, false);
+  EXPECT_NE(os.str().find("\"bad, \"\"worse\"\"\""), std::string::npos);
+}
+
+TEST(WriteCsv, UnionsExtraColumnsAcrossRecords) {
+  auto a = sample_record();
+  auto b = sample_record();
+  b.index = 1;
+  b.extra.clear();
+  b.add_extra("other", 7);
+  std::ostringstream os;
+  write_csv(os, {a, b}, false);
+  const std::string out = os.str();
+  // Both extras appear, in first-appearance order.
+  const auto wm = out.find("window_mean");
+  const auto ot = out.find("other");
+  ASSERT_NE(wm, std::string::npos);
+  ASSERT_NE(ot, std::string::npos);
+  EXPECT_LT(wm, ot);
+}
+
+TEST(WriteJson, ProducesParsableLookingOutput) {
+  std::ostringstream os;
+  write_json(os, {sample_record()}, false);
+  const std::string out = os.str();
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out[out.size() - 2], ']');  // trailing newline after ]
+  EXPECT_NE(out.find("\"protocol\":\"tchain\""), std::string::npos);
+  EXPECT_NE(out.find("\"swarm\":\"10\""), std::string::npos);
+  EXPECT_NE(out.find("\"window_mean\""), std::string::npos);
+  EXPECT_EQ(out.find("wall_seconds"), std::string::npos);
+}
+
+TEST(RunRecord, ExtraAndTagLookups) {
+  const auto r = sample_record();
+  ASSERT_NE(r.tag("swarm"), nullptr);
+  EXPECT_EQ(*r.tag("swarm"), "10");
+  EXPECT_EQ(r.tag("nope"), nullptr);
+  EXPECT_DOUBLE_EQ(r.extra_value("window_mean", -1), 3.25);
+  EXPECT_DOUBLE_EQ(r.extra_value("nope", -1), -1);
+  EXPECT_DOUBLE_EQ(r.events_per_sec(), 1234 / 0.5);
+}
+
+}  // namespace
+}  // namespace tc::exp

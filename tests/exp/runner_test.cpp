@@ -1,0 +1,157 @@
+// Runner determinism and fault containment: the same sweep must produce
+// identical records (and identical CSV bytes) at any --jobs level; a run
+// that throws must isolate to its own failed record.
+#include "src/exp/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/bt/protocol.h"
+#include "src/bt/swarm.h"
+#include "src/util/flags.h"
+
+namespace tc::exp {
+namespace {
+
+bt::SwarmConfig tiny_config() {
+  bt::SwarmConfig cfg;
+  cfg.leecher_count = 8;
+  cfg.file_bytes = 256 * util::kKiB;
+  cfg.max_sim_time = 10'000.0;
+  return cfg;
+}
+
+Sweep tiny_sweep() {
+  Sweep sweep(tiny_config());
+  sweep.protocols({"bittorrent", "tchain"})
+      .seeds(2)
+      .axis("swarm", {6, 10}, [](RunSpec& s, double n) {
+        s.config.leecher_count = static_cast<std::size_t>(n);
+      });
+  return sweep;
+}
+
+// Everything deterministic must match; wall_seconds may differ.
+void expect_same_records(const std::vector<RunRecord>& a,
+                         const std::vector<RunRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a[i].index, b[i].index);
+    EXPECT_EQ(a[i].protocol, b[i].protocol);
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].ok, b[i].ok);
+    EXPECT_EQ(a[i].error, b[i].error);
+    EXPECT_EQ(a[i].sim_events, b[i].sim_events);
+    EXPECT_DOUBLE_EQ(a[i].result.compliant_mean, b[i].result.compliant_mean);
+    EXPECT_DOUBLE_EQ(a[i].result.uplink_utilization,
+                     b[i].result.uplink_utilization);
+    EXPECT_DOUBLE_EQ(a[i].result.end_time, b[i].result.end_time);
+    EXPECT_EQ(a[i].extra, b[i].extra);
+  }
+}
+
+std::string csv_bytes(const std::vector<RunRecord>& records) {
+  std::ostringstream os;
+  write_csv(os, records, /*include_timing=*/false);
+  return os.str();
+}
+
+TEST(Runner, ParallelMatchesSerialByteForByte) {
+  const auto specs = tiny_sweep().build();
+  RunnerOptions serial{.jobs = 1, .quiet = true};
+  RunnerOptions parallel{.jobs = 8, .quiet = true};
+  const auto a = run_all(specs, serial);
+  const auto b = run_all(specs, parallel);
+  expect_same_records(a, b);
+  EXPECT_EQ(csv_bytes(a), csv_bytes(b));
+}
+
+TEST(Runner, RecordsComeBackInSpecOrder) {
+  const auto specs = tiny_sweep().build();
+  const auto records = run_all(specs, {.jobs = 4, .quiet = true});
+  ASSERT_EQ(records.size(), specs.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].index, i);
+    EXPECT_EQ(records[i].protocol, specs[i].protocol);
+    EXPECT_EQ(records[i].seed, specs[i].config.seed);
+    EXPECT_EQ(records[i].label, specs[i].label);
+  }
+}
+
+TEST(Runner, ExceptionIsolatesToFailedRecord) {
+  auto specs = tiny_sweep().build();
+  specs[1].protocol = "no-such-protocol";  // make_protocol throws
+  const auto records = run_all(specs, {.jobs = 4, .quiet = true});
+  ASSERT_EQ(records.size(), specs.size());
+  EXPECT_FALSE(records[1].ok);
+  EXPECT_FALSE(records[1].error.empty());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (i == 1) continue;
+    EXPECT_TRUE(records[i].ok) << "run " << i << ": " << records[i].error;
+  }
+  // The failure must not perturb its neighbours.
+  auto clean = tiny_sweep().build();
+  clean.erase(clean.begin() + 1);
+  const auto baseline = run_all(clean, {.jobs = 1, .quiet = true});
+  EXPECT_DOUBLE_EQ(records[0].result.compliant_mean,
+                   baseline[0].result.compliant_mean);
+  EXPECT_DOUBLE_EQ(records[2].result.compliant_mean,
+                   baseline[1].result.compliant_mean);
+}
+
+TEST(Runner, RunOneMatchesRunAll) {
+  const auto specs = tiny_sweep().build();
+  const auto all = run_all(specs, {.jobs = 2, .quiet = true});
+  const auto one = run_one(specs[3], 3);
+  EXPECT_EQ(one.index, all[3].index);
+  EXPECT_DOUBLE_EQ(one.result.compliant_mean, all[3].result.compliant_mean);
+  EXPECT_EQ(one.sim_events, all[3].sim_events);
+}
+
+TEST(Runner, SetupAndInspectHooksRun) {
+  Sweep sweep(tiny_config());
+  int setups = 0;
+  sweep.protocol("tchain").seeds(2).for_each([&setups](RunSpec& s) {
+    s.setup = [&setups](bt::Swarm&) { ++setups; };
+    s.inspect = [](bt::Swarm& swarm, bt::Protocol& proto, RunRecord& rec) {
+      rec.add_extra("end", swarm.end_time());
+      rec.add_extra("named", proto.name().empty() ? 0.0 : 1.0);
+    };
+  });
+  const auto records = run_all(sweep.build(), {.jobs = 1, .quiet = true});
+  EXPECT_EQ(setups, 2);
+  for (const auto& r : records) {
+    EXPECT_GT(r.extra_value("end", -1.0), 0.0);
+    EXPECT_EQ(r.extra_value("named", 0.0), 1.0);
+  }
+}
+
+TEST(RunnerOptions, FlagsParseJobsAndQuiet) {
+  {
+    const char* argv[] = {"prog", "--jobs", "3", "--quiet"};
+    util::Flags flags(4, const_cast<char**>(argv));
+    const auto opts = runner_options_from_flags(flags);
+    EXPECT_EQ(opts.jobs, 3u);
+    EXPECT_TRUE(opts.quiet);
+  }
+  {
+    const char* argv[] = {"prog"};
+    util::Flags flags(1, const_cast<char**>(argv));
+    const auto opts = runner_options_from_flags(flags);
+    EXPECT_EQ(opts.jobs, 0u);  // 0 = hardware_concurrency
+    EXPECT_FALSE(opts.quiet);
+  }
+}
+
+TEST(RunnerOptions, EffectiveJobsClampsToSpecCount) {
+  EXPECT_EQ(effective_jobs({.jobs = 8}, 3), 3u);
+  EXPECT_EQ(effective_jobs({.jobs = 2}, 100), 2u);
+  EXPECT_EQ(effective_jobs({.jobs = 1}, 5), 1u);
+  EXPECT_GE(effective_jobs({.jobs = 0}, 1000), 1u);
+}
+
+}  // namespace
+}  // namespace tc::exp

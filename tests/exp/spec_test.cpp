@@ -1,0 +1,113 @@
+// Sweep expansion: ordering, labels, tags, per-protocol piece sizes.
+#include "src/exp/spec.h"
+
+#include <gtest/gtest.h>
+
+#include "src/protocols/registry.h"
+
+namespace tc::exp {
+namespace {
+
+bt::SwarmConfig tiny_config() {
+  bt::SwarmConfig cfg;
+  cfg.leecher_count = 4;
+  cfg.file_bytes = 256 * util::kKiB;
+  return cfg;
+}
+
+TEST(Sweep, ExpandsAxesTimesProtocolsTimesSeeds) {
+  Sweep sweep(tiny_config());
+  sweep.protocols({"bittorrent", "tchain"})
+      .seeds(3)
+      .axis("swarm", {10, 20}, [](RunSpec& s, double n) {
+        s.config.leecher_count = static_cast<std::size_t>(n);
+      });
+  EXPECT_EQ(sweep.run_count(), 2u * 2u * 3u);
+  const auto specs = sweep.build();
+  ASSERT_EQ(specs.size(), 12u);
+
+  // Axis outermost, protocol next, seed innermost.
+  EXPECT_EQ(specs[0].protocol, "bittorrent");
+  EXPECT_EQ(specs[0].config.leecher_count, 10u);
+  EXPECT_EQ(specs[0].config.seed, 1u);
+  EXPECT_EQ(specs[1].config.seed, 2u);
+  EXPECT_EQ(specs[2].config.seed, 3u);
+  EXPECT_EQ(specs[3].protocol, "tchain");
+  EXPECT_EQ(specs[3].config.leecher_count, 10u);
+  EXPECT_EQ(specs[6].protocol, "bittorrent");
+  EXPECT_EQ(specs[6].config.leecher_count, 20u);
+  EXPECT_EQ(specs[11].protocol, "tchain");
+  EXPECT_EQ(specs[11].config.leecher_count, 20u);
+  EXPECT_EQ(specs[11].config.seed, 3u);
+}
+
+TEST(Sweep, MultipleAxesNestDeclarationOrder) {
+  Sweep sweep(tiny_config());
+  sweep.protocol("tchain")
+      .axis("a", {1, 2}, [](RunSpec&, double) {})
+      .axis("b", {7, 8, 9}, [](RunSpec&, double) {});
+  const auto specs = sweep.build();
+  ASSERT_EQ(specs.size(), 6u);
+  // First axis outermost: a=1 covers the first three, b cycles fastest.
+  EXPECT_EQ(specs[0].label, "a=1 b=7");
+  EXPECT_EQ(specs[1].label, "a=1 b=8");
+  EXPECT_EQ(specs[2].label, "a=1 b=9");
+  EXPECT_EQ(specs[3].label, "a=2 b=7");
+  ASSERT_NE(specs[0].tag("a"), nullptr);
+  EXPECT_EQ(*specs[0].tag("a"), "1");
+  ASSERT_NE(specs[5].tag("b"), nullptr);
+  EXPECT_EQ(*specs[5].tag("b"), "9");
+  EXPECT_EQ(specs[0].tag("missing"), nullptr);
+}
+
+TEST(Sweep, AppliesPerProtocolPieceSize) {
+  Sweep sweep(tiny_config());
+  sweep.protocols({"bittorrent", "tchain"});
+  const auto specs = sweep.build();
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].config.piece_bytes,
+            protocols::make_protocol("bittorrent")->default_piece_bytes());
+  EXPECT_EQ(specs[1].config.piece_bytes,
+            protocols::make_protocol("tchain")->default_piece_bytes());
+  EXPECT_NE(specs[0].config.piece_bytes, specs[1].config.piece_bytes);
+}
+
+TEST(Sweep, PinPieceBytesKeepsBaseValue) {
+  auto cfg = tiny_config();
+  cfg.piece_bytes = 32 * util::kKiB;
+  Sweep sweep(cfg);
+  sweep.protocols({"bittorrent", "tchain"}).pin_piece_bytes(true);
+  for (const auto& s : sweep.build()) {
+    EXPECT_EQ(s.config.piece_bytes, 32 * util::kKiB);
+  }
+}
+
+TEST(Sweep, ForEachRunsAfterAxesAndSeesFinalConfig) {
+  Sweep sweep(tiny_config());
+  std::vector<std::size_t> seen;
+  sweep.protocol("tchain")
+      .axis("swarm", {5, 6}, [](RunSpec& s, double n) {
+        s.config.leecher_count = static_cast<std::size_t>(n);
+      })
+      .for_each([&seen](RunSpec& s) { seen.push_back(s.config.leecher_count); });
+  sweep.build();
+  EXPECT_EQ(seen, (std::vector<std::size_t>{5, 6}));
+}
+
+TEST(Sweep, SeedsStartAtCustomFirst) {
+  Sweep sweep(tiny_config());
+  sweep.protocol("tchain").seeds(2, 10);
+  const auto specs = sweep.build();
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].config.seed, 10u);
+  EXPECT_EQ(specs[1].config.seed, 11u);
+}
+
+TEST(FormatAxisValue, IntegersHaveNoDecimalPoint) {
+  EXPECT_EQ(format_axis_value(200), "200");
+  EXPECT_EQ(format_axis_value(0.25), "0.25");
+  EXPECT_EQ(format_axis_value(0), "0");
+}
+
+}  // namespace
+}  // namespace tc::exp
