@@ -2,7 +2,12 @@
 // (a) flash crowd (paper: 600 leechers) — chains climb until the fastest
 //     bandwidth class finishes, then decay in a saw-tooth as each class
 //     departs; (b) trace-driven — chains track the active-leecher count.
+//
+// The census series comes from obs::ChainView: each run records chain
+// trace events (kChainKinds) and the series is reconstructed offline,
+// replacing the registry-side accounting the bench used to read.
 #include "bench/common.h"
+#include "src/obs/chain_view.h"
 #include "src/protocols/tchain.h"
 
 namespace {
@@ -10,7 +15,7 @@ namespace {
 // Per-panel state filled by the run's setup/inspect hooks.
 struct Census {
   std::vector<std::pair<double, std::size_t>> leecher_series;
-  std::vector<tc::core::ChainRegistry::CensusPoint> census;
+  std::vector<tc::obs::CensusPoint> census;
   std::size_t total_created = 0, by_seeder = 0, by_leechers = 0;
   double mean_terminated_length = 0;
 };
@@ -27,17 +32,22 @@ struct Sampler {
 
 void attach(tc::bench::RunSpec& spec, Census& out) {
   using namespace tc;
+  spec.trace.enabled = true;
+  spec.trace.kind_mask = obs::kChainKinds;
+  // Roughly 3 chain events per transaction (~one tx per piece delivery)
+  // plus census ticks; generously padded so the ring never wraps.
+  spec.trace.ring_capacity =
+      spec.config.piece_count() * (spec.config.leecher_count + 8) * 3 + 65536;
   spec.setup = [&out](bt::Swarm& swarm) {
     swarm.simulator().schedule_in(5.0, Sampler{&swarm, &out.leecher_series});
   };
-  spec.inspect = [&out](bt::Swarm&, bt::Protocol& proto, bench::RunRecord&) {
-    const auto* tchain = dynamic_cast<const protocols::TChainProtocol*>(&proto);
-    if (tchain == nullptr) return;
-    out.census = tchain->chains().census();
-    out.total_created = tchain->chains().total_created();
-    out.by_seeder = tchain->chains().created_by_seeder();
-    out.by_leechers = tchain->chains().created_by_leechers();
-    out.mean_terminated_length = tchain->chains().mean_terminated_length();
+  spec.inspect = [&out](bt::Swarm& swarm, bt::Protocol&, bench::RunRecord&) {
+    const auto view = obs::ChainView::reconstruct(swarm.obs()->events());
+    out.census = view.census();
+    out.total_created = view.total_created();
+    out.by_seeder = view.created_by_seeder();
+    out.by_leechers = view.created_by_leechers();
+    out.mean_terminated_length = view.mean_terminated_length();
   };
 }
 

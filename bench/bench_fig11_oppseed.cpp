@@ -8,25 +8,34 @@
 //     opportunistic seeding.
 // --no-oppseed ablates the mechanism to show the utilization gap it closes.
 #include "bench/common.h"
+#include "src/obs/chain_view.h"
 #include "src/protocols/tchain.h"
 
 namespace {
 
 struct ChainStats {
-  std::vector<tc::core::ChainRegistry::CensusPoint> census;
+  std::vector<tc::obs::CensusPoint> census;
   std::uint64_t by_seeder = 0, by_leechers = 0;
   double opp_fraction = 0;
 };
 
+// Cumulative creation counts come from the obs::ChainView reconstruction
+// of the run's chain trace; the opportunistic fraction still reads the
+// registry scalar (it is not census-derived).
 void read_chains(tc::bench::RunSpec& spec, ChainStats& out) {
-  spec.inspect = [&out](tc::bt::Swarm&, tc::bt::Protocol& proto,
+  spec.trace.enabled = true;
+  spec.trace.kind_mask = tc::obs::kChainKinds;
+  spec.trace.ring_capacity =
+      spec.config.piece_count() * (spec.config.leecher_count + 8) * 3 + 65536;
+  spec.inspect = [&out](tc::bt::Swarm& swarm, tc::bt::Protocol& proto,
                         tc::bench::RunRecord&) {
     const auto* tchain =
         dynamic_cast<const tc::protocols::TChainProtocol*>(&proto);
     if (tchain == nullptr) return;
-    out.census = tchain->chains().census();
-    out.by_seeder = tchain->chains().created_by_seeder();
-    out.by_leechers = tchain->chains().created_by_leechers();
+    const auto view = tc::obs::ChainView::reconstruct(swarm.obs()->events());
+    out.census = view.census();
+    out.by_seeder = view.created_by_seeder();
+    out.by_leechers = view.created_by_leechers();
     out.opp_fraction = tchain->chains().opportunistic_fraction();
   };
 }

@@ -13,6 +13,10 @@
 //                 dump the raw per-run RunRecords as CSV / JSON
 //   --timing      include wall-clock columns in the record dump (breaks
 //                 byte-identity across --jobs levels; off by default)
+//   --trace[=PREFIX], --trace-csv[=PREFIX], --trace-limit N
+//                 per-run obs event tracing: Chrome trace-event JSON
+//                 (load PREFIX.run<i>.json in Perfetto) / raw event CSV /
+//                 ring capacity (see exp::apply_trace_flags)
 // plus bench-specific sweeps. Scaled defaults are chosen so each bench
 // finishes in tens of seconds on one core while preserving the paper's
 // qualitative shape (see EXPERIMENTS.md).
@@ -112,10 +116,12 @@ inline std::vector<RunSpec> concat(std::initializer_list<const Sweep*> sweeps) {
   return specs;
 }
 
-// Runs the specs with --jobs/--quiet from the flags and dumps raw records
-// if --records-csv / --records-json were given.
-inline std::vector<RunRecord> run(const std::vector<RunSpec>& specs,
+// Runs the specs with --jobs/--quiet from the flags, honouring the shared
+// tracing flags (--trace / --trace-csv / --trace-limit), and dumps raw
+// records if --records-csv / --records-json were given.
+inline std::vector<RunRecord> run(std::vector<RunSpec> specs,
                                   const util::Flags& flags) {
+  exp::apply_trace_flags(specs, flags);
   const auto records =
       exp::run_all(specs, exp::runner_options_from_flags(flags));
   const bool timing = flags.get_bool("timing");

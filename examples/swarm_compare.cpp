@@ -6,6 +6,8 @@
 //
 // Usage: swarm_compare [--leechers N] [--file-mb M] [--seeds K]
 //                      [--freerider-fracs 0,0.25] [--jobs N]
+//                      [--trace[=PREFIX]] [--trace-csv[=PREFIX]]
+//                      [--trace-limit N]
 #include <iostream>
 #include <sstream>
 
@@ -49,8 +51,10 @@ int main(int argc, char** argv) {
       .axis("freeriders", fracs, [](exp::RunSpec& s, double frac) {
         s.config.freerider_fraction = frac;
       });
+  auto specs = sweep.build();
+  exp::apply_trace_flags(specs, flags);
   const auto records =
-      exp::run_sweep(sweep, exp::runner_options_from_flags(flags));
+      exp::run_all(specs, exp::runner_options_from_flags(flags));
 
   util::AsciiTable t({"protocol", "free-riders", "compliant mean (s)",
                       "ci95", "freerider mean (s)", "freeriders done",

@@ -49,6 +49,12 @@ SimTime Swarm::end_time() const {
   return std::min(sim_.now(), cfg_.max_sim_time);
 }
 
+void Swarm::enable_obs(const obs::TraceConfig& cfg) {
+  obs_owned_ = std::make_unique<obs::Trace>(cfg);
+  obs_ = obs_owned_.get();
+  faults_.set_trace(obs_, &sim_);
+}
+
 Peer* Swarm::peer(PeerId id) {
   const auto it = peers_.find(id);
   return it == peers_.end() ? nullptr : it->second.get();
@@ -217,12 +223,28 @@ sim::FlowId Swarm::start_upload(PeerId from, PeerId to, PieceIndex piece,
         up.bytes_uploaded += static_cast<double>(cfg_.piece_bytes);
         metrics_.record(info.to).bytes_downloaded +=
             static_cast<double>(cfg_.piece_bytes);
+        if (obs_ != nullptr) {
+          obs_->emit({.t = sim_.now(),
+                      .kind = obs::EventKind::kPieceDelivered,
+                      .piece = info.piece,
+                      .a = info.from,
+                      .b = info.to,
+                      .ref = fid});
+        }
 
         if (info.on_done) info.on_done(info.from, info.to, info.piece, true);
       },
       weight);
   flows_[id] = FlowInfo{from, to, piece, std::move(on_done)};
   flows_to_[to].push_back(id);
+  if (obs_ != nullptr) {
+    obs_->emit({.t = sim_.now(),
+                .kind = obs::EventKind::kPieceSent,
+                .piece = piece,
+                .a = from,
+                .b = to,
+                .ref = id});
+  }
   return id;
 }
 
@@ -238,6 +260,13 @@ void Swarm::grant_piece(PeerId to, PieceIndex piece, PeerId from) {
   last_any_progress_ = sim_.now();
   if (t->freerider) last_freerider_progress_ = sim_.now();
   if (metrics_.tracing(to)) metrics_.trace_completed(to, piece, sim_.now());
+  if (obs_ != nullptr) {
+    obs_->emit({.t = sim_.now(),
+                .kind = obs::EventKind::kPieceGranted,
+                .piece = piece,
+                .a = to,
+                .b = from});
+  }
 
   // HAVE broadcast: neighbors' availability counters pick up the piece.
   for (PeerId n : t->neighbors) {
@@ -320,6 +349,11 @@ void Swarm::begin_outage(PeerId id) {
   ++metrics_.resilience().upload_outages;
   outage_saved_[id] = cap;
   bw_.set_capacity(id, 0.0);
+  if (obs_ != nullptr) {
+    obs_->emit({.t = sim_.now(),
+                .kind = obs::EventKind::kFaultOutageBegin,
+                .a = id});
+  }
   const SimTime dur = faults_.outage_duration();
   sim_.schedule_in(dur, [this, id] { end_outage(id); });
 }
@@ -331,6 +365,11 @@ void Swarm::end_outage(PeerId id) {
   outage_saved_.erase(it);
   if (is_active(id)) {
     bw_.set_capacity(id, cap);
+    if (obs_ != nullptr) {
+      obs_->emit({.t = sim_.now(),
+                  .kind = obs::EventKind::kFaultOutageEnd,
+                  .a = id});
+    }
     schedule_next_outage(id);
   }
 }
@@ -339,6 +378,9 @@ void Swarm::finish_peer(PeerId id) {
   Peer* p = peer(id);
   if (!p || !p->active || p->seeder) return;
   metrics_.record(id).finish_time = sim_.now();
+  if (obs_ != nullptr) {
+    obs_->emit({.t = sim_.now(), .kind = obs::EventKind::kPeerFinish, .a = id});
+  }
   const bool compliant = !p->freerider;
   const bool replace = cfg_.replace_on_finish && sim_.now() < cfg_.max_sim_time;
   const double kbps = p->upload_kbps;
@@ -377,6 +419,15 @@ void Swarm::finish_peer(PeerId id) {
     tracker_.announce(fresh);
     ++active_leechers_;
     if (!was_freerider) ++compliant_outstanding_;
+    if (obs_ != nullptr) {
+      std::uint8_t flags = 0;
+      if (was_freerider) flags |= obs::kPeerFlagFreerider;
+      if (was_freerider && cfg_.freerider_collude) flags |= obs::kPeerFlagColluder;
+      obs_->emit({.t = sim_.now(),
+                  .kind = obs::EventKind::kPeerJoin,
+                  .aux = flags,
+                  .a = fresh});
+    }
     setup_peer_links(fresh);
     proto_.on_peer_join(fresh);
     arm_faults(fresh);
@@ -423,10 +474,25 @@ void Swarm::depart(PeerId id, DepartKind kind) {
     if (Peer* dst = peer(info.to); dst && !dst->have.get(info.piece)) {
       dst->requested.clear(info.piece);  // allow a re-fetch elsewhere
     }
+    if (obs_ != nullptr) {
+      obs_->emit({.t = sim_.now(),
+                  .kind = obs::EventKind::kPieceAborted,
+                  .piece = info.piece,
+                  .a = info.from,
+                  .b = info.to,
+                  .ref = fid});
+    }
     if (info.on_done) info.on_done(info.from, info.to, info.piece, false);
   }
   flows_to_.erase(id);
 
+  if (obs_ != nullptr) {
+    obs_->emit({.t = sim_.now(),
+                .kind = kind == DepartKind::kCrash
+                            ? obs::EventKind::kPeerCrash
+                            : obs::EventKind::kPeerDepart,
+                .a = id});
+  }
   if (kind == DepartKind::kCrash) {
     proto_.on_peer_crash(id);
   } else {
@@ -460,6 +526,14 @@ PeerId Swarm::whitewash(PeerId id) {
     if (Peer* dst = peer(info.to); dst && !dst->have.get(info.piece)) {
       dst->requested.clear(info.piece);
     }
+    if (obs_ != nullptr) {
+      obs_->emit({.t = sim_.now(),
+                  .kind = obs::EventKind::kPieceAborted,
+                  .piece = info.piece,
+                  .a = info.from,
+                  .b = info.to,
+                  .ref = fid});
+    }
     if (info.on_done) info.on_done(info.from, info.to, info.piece, false);
   }
   flows_to_.erase(id);
@@ -488,6 +562,12 @@ PeerId Swarm::whitewash(PeerId id) {
   }
   tracker_.announce(fresh);
 
+  if (obs_ != nullptr) {
+    obs_->emit({.t = sim_.now(),
+                .kind = obs::EventKind::kPeerWhitewash,
+                .a = id,
+                .b = fresh});
+  }
   proto_.on_peer_rekeyed(id, fresh);
   setup_peer_links(fresh);
   proto_.on_peer_join(fresh);
@@ -593,6 +673,12 @@ void Swarm::join_leecher(std::size_t arrival_index, SimTime now) {
                            ? 0.0
                            : util::kbps_to_bytes_per_sec(p->upload_kbps));
   avail_[id].assign(piece_count_, 0);
+  if (obs_ != nullptr) {
+    std::uint8_t flags = 0;
+    if (p->freerider) flags |= obs::kPeerFlagFreerider;
+    if (p->colluder) flags |= obs::kPeerFlagColluder;
+    obs_->emit({.t = now, .kind = obs::EventKind::kPeerJoin, .aux = flags, .a = id});
+  }
   peers_[id] = std::move(p);
   tracker_.announce(id);
   ++active_leechers_;
@@ -660,6 +746,12 @@ void Swarm::run() {
   sim_.schedule_in(50.0, HkDriver{this});
 
   proto_.on_run_start();
+  if (obs_ != nullptr) {
+    obs_->emit({.t = sim_.now(),
+                .kind = obs::EventKind::kPeerJoin,
+                .aux = obs::kPeerFlagSeeder,
+                .a = seeder_id_});
+  }
   proto_.on_peer_join(seeder_id_);
 
   for (std::size_t i = 0; i < arrivals_.size(); ++i) {

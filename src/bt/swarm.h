@@ -16,6 +16,7 @@
 #include "src/bt/peer.h"
 #include "src/bt/protocol.h"
 #include "src/net/tracker.h"
+#include "src/obs/trace.h"
 #include "src/sim/bandwidth.h"
 #include "src/sim/faults.h"
 #include "src/sim/simulator.h"
@@ -106,6 +107,13 @@ class Swarm {
   // Identity change keeping download state; returns the new id.
   PeerId whitewash(PeerId p);
 
+  // --- Observability (src/obs) ---------------------------------------------
+  // Turns on event tracing + the metric registry for this run. Call before
+  // run(). Off by default: obs() stays null and every instrumentation site
+  // reduces to one pointer test (zero-overhead contract, see obs/trace.h).
+  void enable_obs(const obs::TraceConfig& cfg);
+  obs::Trace* obs() const { return obs_; }
+
   // Figure 5 support: when enabled before run(), the first leecher of the
   // slowest class and the first of the fastest class get piece-timeline
   // traces in metrics().
@@ -139,6 +147,8 @@ class Swarm {
   std::unique_ptr<trace::SessionModel> sessions_;  // null: no churn
   net::Tracker tracker_;
   analysis::SwarmMetrics metrics_;
+  std::unique_ptr<obs::Trace> obs_owned_;
+  obs::Trace* obs_ = nullptr;  // null unless enable_obs() was called
   // Pre-outage upload capacity of peers currently dark.
   std::unordered_map<PeerId, double> outage_saved_;
 

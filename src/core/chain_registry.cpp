@@ -53,9 +53,4 @@ double ChainRegistry::mean_terminated_length() const {
                            : 0.0;
 }
 
-void ChainRegistry::sample(SimTime now) {
-  census_.push_back(
-      CensusPoint{now, active_, created_seeder_, created_leecher_});
-}
-
 }  // namespace tc::core

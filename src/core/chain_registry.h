@@ -1,6 +1,9 @@
-// Chain bookkeeping and the census statistics behind Figures 10 and 11:
-// number of active chains over time, cumulative chains created by the
-// seeder vs. by leechers (opportunistic seeding), and chain lengths.
+// Live chain bookkeeping: per-chain info, creation counters (seeder vs.
+// leecher / opportunistic seeding) and chain lengths. The census time
+// series behind Figures 10 and 11 is no longer accumulated here — it is
+// reconstructed offline by obs::ChainView from kChainStart / kChainBreak /
+// kCensusTick trace events; the scalar counters kept here serve as the
+// cross-check reference for that reconstruction.
 #pragma once
 
 #include <cstdint>
@@ -49,16 +52,6 @@ class ChainRegistry {
   // Mean length of terminated chains.
   double mean_terminated_length() const;
 
-  // --- Census time series (Figure 10) -------------------------------------
-  void sample(SimTime now);
-  struct CensusPoint {
-    SimTime t;
-    std::size_t active_chains;
-    std::uint64_t cumulative_seeder;
-    std::uint64_t cumulative_leecher;
-  };
-  const std::vector<CensusPoint>& census() const { return census_; }
-
  private:
   std::unordered_map<ChainId, ChainInfo> chains_;
   ChainId next_id_ = 1;
@@ -67,7 +60,6 @@ class ChainRegistry {
   std::uint64_t created_leecher_ = 0;
   std::uint64_t terminated_count_ = 0;
   double terminated_length_sum_ = 0.0;
-  std::vector<CensusPoint> census_;
 };
 
 }  // namespace tc::core

@@ -36,6 +36,16 @@ Transaction& TransactionTable::create(ChainId chain, PeerId donor,
   index_peer(requestor, id);
   if (payee != net::kNoPeer && payee != donor && payee != requestor)
     index_peer(payee, id);
+  if (trace_ != nullptr) {
+    trace_->emit({.t = now,
+                  .kind = obs::EventKind::kTxOpen,
+                  .piece = piece,
+                  .a = donor,
+                  .b = requestor,
+                  .c = payee,
+                  .ref = id,
+                  .chain = chain});
+  }
   return it->second;
 }
 
@@ -53,6 +63,17 @@ void TransactionTable::erase(TxId id) {
   const auto it = txs_.find(id);
   if (it == txs_.end()) return;
   const Transaction& tx = it->second;
+  if (trace_ != nullptr) {
+    trace_->emit({.t = clock_ ? clock_() : tx.started,
+                  .kind = obs::EventKind::kTxClose,
+                  .aux = static_cast<std::uint8_t>(tx.state),
+                  .piece = tx.piece,
+                  .a = tx.donor,
+                  .b = tx.requestor,
+                  .c = tx.payee,
+                  .ref = id,
+                  .chain = tx.chain});
+  }
   unindex_peer(tx.donor, id);
   unindex_peer(tx.requestor, id);
   if (tx.payee != net::kNoPeer && tx.payee != tx.donor &&

@@ -8,11 +8,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
 #include "src/net/peer_id.h"
 #include "src/net/message.h"
+#include "src/obs/trace.h"
 #include "src/util/units.h"
 
 namespace tc::core {
@@ -79,6 +81,15 @@ class TransactionTable {
   std::size_t size() const { return txs_.size(); }
   std::uint64_t created() const { return next_id_ - 1; }
 
+  // Observability hookup: create() then emits kTxOpen and erase() kTxClose
+  // (with the final state in aux). `clock` supplies the erase timestamp —
+  // a std::function so core stays independent of the sim layer. Null trace
+  // (the default) keeps both paths branch-only.
+  void set_trace(obs::Trace* trace, std::function<util::SimTime()> clock) {
+    trace_ = trace;
+    clock_ = std::move(clock);
+  }
+
  private:
   void index_peer(PeerId p, TxId id);
   void unindex_peer(PeerId p, TxId id);
@@ -86,6 +97,8 @@ class TransactionTable {
   TxId next_id_ = 1;
   std::unordered_map<TxId, Transaction> txs_;
   std::unordered_map<PeerId, std::vector<TxId>> by_peer_;
+  obs::Trace* trace_ = nullptr;
+  std::function<util::SimTime()> clock_;
 };
 
 }  // namespace tc::core

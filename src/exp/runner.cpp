@@ -4,10 +4,12 @@
 #include <chrono>
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <thread>
 
 #include "src/analysis/metrics.h"
 #include "src/bt/swarm.h"
+#include "src/obs/export.h"
 #include "src/protocols/registry.h"
 
 namespace tc::exp {
@@ -45,6 +47,35 @@ RunnerOptions runner_options_from_flags(const util::Flags& flags) {
   return opts;
 }
 
+void apply_trace_flags(std::vector<RunSpec>& specs, const util::Flags& flags) {
+  const bool want_json = flags.has("trace");
+  const bool want_csv = flags.has("trace-csv");
+  const bool want_limit = flags.has("trace-limit");
+  if (!want_json && !want_csv && !want_limit) return;
+
+  // A bare "--trace" parses as value "true"; anything else is the prefix.
+  const auto prefix = [&](const char* flag) {
+    const std::string v = flags.get_string(flag, "true");
+    return (v == "true" || v == "-") ? std::string("trace") : v;
+  };
+  const std::string json_prefix = prefix("trace");
+  const std::string csv_prefix = prefix("trace-csv");
+  const auto limit = flags.get_int("trace-limit", 0);
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    obs::TraceConfig& t = specs[i].trace;
+    if (!t.enabled) {
+      // The spec had no tracing of its own: full event taxonomy.
+      t.enabled = true;
+      t.kind_mask = obs::kAllKinds;
+    }
+    if (limit > 0) t.ring_capacity = static_cast<std::size_t>(limit);
+    const std::string run = ".run" + std::to_string(i);
+    if (want_json) t.export_json = json_prefix + run + ".json";
+    if (want_csv) t.export_csv = csv_prefix + run + ".csv";
+  }
+}
+
 std::size_t effective_jobs(const RunnerOptions& opts, std::size_t spec_count) {
   std::size_t jobs = opts.jobs;
   if (jobs == 0) {
@@ -66,11 +97,32 @@ RunRecord run_one(const RunSpec& spec, std::size_t index) {
   try {
     auto proto = protocols::make_protocol(spec.protocol);
     bt::Swarm swarm(spec.config, *proto, spec.arrivals);
+    if (spec.trace.enabled) swarm.enable_obs(spec.trace);
     if (spec.setup) spec.setup(swarm);
     swarm.run();
     rec.result = summarize(swarm);
     rec.sim_events = swarm.simulator().events_processed();
     if (spec.inspect) spec.inspect(swarm, *proto, rec);
+    if (const obs::Trace* tr = swarm.obs()) {
+      for (const auto& [key, value] : tr->snapshot()) {
+        rec.add_extra("obs." + key, value);
+      }
+      rec.add_extra("obs.sim.peak_pending",
+                    static_cast<double>(swarm.simulator().peak_pending()));
+      rec.add_extra("obs.sim.cancelled",
+                    static_cast<double>(swarm.simulator().cancelled_total()));
+      if (!spec.trace.export_json.empty() || !spec.trace.export_csv.empty()) {
+        const auto events = tr->events();
+        if (!spec.trace.export_json.empty()) {
+          std::ofstream out(spec.trace.export_json);
+          obs::write_chrome_trace(out, events);
+        }
+        if (!spec.trace.export_csv.empty()) {
+          std::ofstream out(spec.trace.export_csv);
+          obs::write_event_csv(out, events);
+        }
+      }
+    }
     rec.ok = true;
   } catch (const std::exception& e) {
     rec.ok = false;

@@ -35,6 +35,18 @@ struct RunnerOptions {
 // --quiet.
 RunnerOptions runner_options_from_flags(const util::Flags& flags);
 
+// Plumbs the shared tracing flags into `specs`:
+//   --trace[=PREFIX]      enable obs tracing on every spec and write a
+//                         Chrome trace-event JSON (Perfetto-loadable) per
+//                         run to PREFIX.run<i>.json (default prefix
+//                         "trace"). Specs that already enabled tracing
+//                         keep their kind mask; others get kAllKinds.
+//   --trace-csv[=PREFIX]  also write the raw event stream per run to
+//                         PREFIX.run<i>.csv.
+//   --trace-limit N       ring capacity in events (default 1<<20).
+// Without any of these flags the specs are left untouched.
+void apply_trace_flags(std::vector<RunSpec>& specs, const util::Flags& flags);
+
 // The number of threads `opts` resolves to for `spec_count` runs.
 std::size_t effective_jobs(const RunnerOptions& opts, std::size_t spec_count);
 

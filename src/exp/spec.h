@@ -20,6 +20,7 @@
 
 #include "src/bt/config.h"
 #include "src/exp/results.h"
+#include "src/obs/trace.h"
 #include "src/util/units.h"
 
 namespace tc::bt {
@@ -38,6 +39,13 @@ struct RunSpec {
   std::string label;
   // Machine-readable axis coordinates, serialized as CSV columns.
   std::vector<std::pair<std::string, std::string>> tags;
+
+  // Observability (src/obs): when trace.enabled the runner calls
+  // Swarm::enable_obs before setup, snapshots the trace registry and event
+  // counts into RunRecord::extra ("obs.*" keys) after inspect, and writes
+  // the configured exports. Disabled (the default) leaves the run — and
+  // its serialized record — byte-identical to a spec without this field.
+  obs::TraceConfig trace;
 
   // Optional hooks, both run on the worker thread that owns this run and
   // must capture only per-spec state (the determinism and thread-safety

@@ -1,0 +1,131 @@
+#include "src/obs/export.h"
+
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+
+namespace tc::obs {
+namespace {
+
+// Microsecond timestamp for the Chrome trace format. Events are written in
+// stream order, so ts is non-decreasing across the file.
+double micros(util::SimTime t) { return t * 1e6; }
+
+void write_double(std::ostream& os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  os << buf;
+}
+
+// Common "args" payload: whichever optional fields the event carries.
+void write_args(std::ostream& os, const TraceEvent& e) {
+  os << "\"args\":{";
+  bool first = true;
+  const auto field = [&](const char* name, std::uint64_t v) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << name << "\":" << v;
+  };
+  if (e.piece != net::kNoPiece) field("piece", e.piece);
+  if (e.b != net::kNoPeer) field("b", e.b);
+  if (e.c != net::kNoPeer) field("c", e.c);
+  if (e.ref != 0) field("ref", e.ref);
+  if (e.chain != 0) field("chain", e.chain);
+  if (e.kind == EventKind::kChainBreak) {
+    if (!first) os << ',';
+    first = false;
+    os << "\"cause\":\"" << chain_break_cause_name(static_cast<ChainBreakCause>(e.aux))
+       << '"';
+  } else if (e.aux != 0) {
+    field("aux", e.aux);
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& events) {
+  // Pre-pass: match kPieceSent -> kPieceDelivered / kPieceAborted by flow ref
+  // so transfers render as duration slices on the uploader's track.
+  std::unordered_map<std::uint64_t, const TraceEvent*> flow_end;
+  for (const TraceEvent& e : events) {
+    if ((e.kind == EventKind::kPieceDelivered ||
+         e.kind == EventKind::kPieceAborted) &&
+        e.ref != 0 && !flow_end.count(e.ref)) {
+      flow_end.emplace(e.ref, &e);
+    }
+  }
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ',';
+    first = false;
+    os << '\n';
+  };
+
+  // One track per peer: name the threads once, in peer-id order.
+  std::map<net::PeerId, bool> peers;
+  for (const TraceEvent& e : events) {
+    if (e.a != net::kNoPeer) peers[e.a];
+  }
+  for (const auto& [pid, unused] : peers) {
+    (void)unused;
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << pid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"peer " << pid << "\"}}";
+  }
+
+  for (const TraceEvent& e : events) {
+    const net::PeerId track = e.a == net::kNoPeer ? 0 : e.a;
+    if (e.kind == EventKind::kPieceSent) {
+      // Complete ("X") slice if the end of this flow is in the stream;
+      // otherwise fall through to an instant.
+      const auto it = flow_end.find(e.ref);
+      if (it != flow_end.end() && it->second->t >= e.t) {
+        sep();
+        os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << track << ",\"ts\":";
+        write_double(os, micros(e.t));
+        os << ",\"dur\":";
+        write_double(os, micros(it->second->t - e.t));
+        os << ",\"name\":\""
+           << (it->second->kind == EventKind::kPieceAborted ? "piece (aborted)"
+                                                            : "piece")
+           << "\",\"cat\":\"piece\",";
+        write_args(os, e);
+        os << '}';
+        continue;
+      }
+    }
+    if (e.kind == EventKind::kPieceDelivered || e.kind == EventKind::kPieceAborted) {
+      // Rendered as the end of the paired "X" slice above.
+      if (e.ref != 0 && flow_end.count(e.ref)) continue;
+    }
+    sep();
+    os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" << track << ",\"ts\":";
+    write_double(os, micros(e.t));
+    os << ",\"name\":\"" << event_kind_name(e.kind) << "\",\"cat\":\"event\",";
+    write_args(os, e);
+    os << '}';
+  }
+  os << "\n]}\n";
+}
+
+void write_event_csv(std::ostream& os, const std::vector<TraceEvent>& events) {
+  os << "t,kind,a,b,c,piece,ref,chain,aux\n";
+  for (const TraceEvent& e : events) {
+    write_double(os, e.t);
+    os << ',' << event_kind_name(e.kind) << ',';
+    if (e.a != net::kNoPeer) os << e.a;
+    os << ',';
+    if (e.b != net::kNoPeer) os << e.b;
+    os << ',';
+    if (e.c != net::kNoPeer) os << e.c;
+    os << ',';
+    if (e.piece != net::kNoPiece) os << e.piece;
+    os << ',' << e.ref << ',' << e.chain << ',' << static_cast<unsigned>(e.aux)
+       << '\n';
+  }
+}
+
+}  // namespace tc::obs

@@ -1,0 +1,25 @@
+// Trace exporters.
+//
+// write_chrome_trace emits the Chrome trace-event JSON format ("traceEvents"
+// array, ts/dur in microseconds) that Perfetto and chrome://tracing load
+// directly: one track (tid) per peer, piece transfers as complete ("X")
+// duration slices on the uploader's track, everything else as instant ("i")
+// events. write_event_csv emits the raw stream as a flat CSV timeseries.
+//
+// Both writers are deterministic: output is a pure function of the event
+// vector, events are written in stream order (non-decreasing timestamps),
+// and no locale-dependent formatting is used.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace tc::obs {
+
+void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& events);
+
+void write_event_csv(std::ostream& os, const std::vector<TraceEvent>& events);
+
+}  // namespace tc::obs

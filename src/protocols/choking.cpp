@@ -61,14 +61,54 @@ void ChokingProtocol::rechoke(PeerId id) {
   const bt::Peer* p = swarm_->peer(id);
   if (p == nullptr || !p->active) return;
   ChokeState& st = state(id);
+  obs::Trace* tr = swarm_->obs();
 
-  if (p->freerider && !p->seeder) {
-    // The attack model: contribute nothing.
-    st.unchoked.clear();
-    return;
+  // Tracing: snapshot the unchoke set so the recompute can be diffed into
+  // kChoke / kUnchoke events. Reads only; never perturbs the run.
+  std::vector<PeerId> before;
+  if (tr != nullptr) {
+    before.reserve(st.unchoked.size());
+    for (const auto& [n, w] : st.unchoked) {
+      (void)w;
+      before.push_back(n);
+    }
+    std::sort(before.begin(), before.end());
   }
 
-  compute_unchokes(id, st);
+  const bool freerider = p->freerider && !p->seeder;
+  if (freerider) {
+    // The attack model: contribute nothing.
+    st.unchoked.clear();
+  } else {
+    compute_unchokes(id, st);
+  }
+
+  if (tr != nullptr) {
+    std::vector<PeerId> after;
+    after.reserve(st.unchoked.size());
+    for (const auto& [n, w] : st.unchoked) {
+      (void)w;
+      after.push_back(n);
+    }
+    std::sort(after.begin(), after.end());
+    const util::SimTime now = swarm_->simulator().now();
+    std::size_t i = 0, j = 0;  // merge-walk the sorted before/after sets
+    while (i < before.size() || j < after.size()) {
+      if (j == after.size() || (i < before.size() && before[i] < after[j])) {
+        tr->emit({.t = now, .kind = obs::EventKind::kChoke, .a = id,
+                  .b = before[i]});
+        ++i;
+      } else if (i == before.size() || after[j] < before[i]) {
+        tr->emit({.t = now, .kind = obs::EventKind::kUnchoke, .a = id,
+                  .b = after[j]});
+        ++j;
+      } else {
+        ++i;
+        ++j;
+      }
+    }
+  }
+  if (freerider) return;
 
   for (const auto& [n, w] : st.unchoked) {
     (void)w;

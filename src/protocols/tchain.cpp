@@ -29,7 +29,12 @@ int TChainProtocol::pending_of(PeerId donor, PeerId neighbor) const {
 }
 
 void TChainProtocol::on_run_start() {
-  // Chain census sampling for Figures 10/11.
+  if (obs::Trace* tr = swarm_->obs()) {
+    txs_.set_trace(tr, [this] { return swarm_->simulator().now(); });
+  }
+  // Census tick loop for the Figures 10/11 series (replayed offline by
+  // obs::ChainView). Scheduled unconditionally so the simulator's event-id
+  // sequence — and therefore the run — is identical with tracing off.
   swarm_->simulator().schedule_in(census_period_, [this] { census_loop(); });
 }
 
@@ -64,15 +69,31 @@ void TChainProtocol::handle_exit(PeerId id, bool crashed) {
         // release it upon reciprocation.
         tx->key_escrowed = true;
         ++stats_.keys_escrowed;
+        if (obs::Trace* tr = swarm_->obs()) {
+          tr->emit({.t = swarm_->simulator().now(),
+                    .kind = obs::EventKind::kKeyEscrowed,
+                    .piece = tx->piece,
+                    .a = tx->donor,
+                    .b = tx->requestor,
+                    .c = tx->payee,
+                    .ref = txid,
+                    .chain = tx->chain});
+        }
       } else if (tx->state == TxState::kAwaitKey) {
-        kill_tx(txid, /*terminate_chain=*/true);
+        kill_tx(txid, /*terminate_chain=*/true,
+                crashed ? obs::ChainBreakCause::kCrash
+                        : obs::ChainBreakCause::kDeparture);
       }
       continue;
     }
 
     if (tx->requestor == id) {
       // Requestor left before reciprocating / decrypting: obligation dies.
-      if (tx->state == TxState::kAwaitKey) kill_tx(txid, true);
+      if (tx->state == TxState::kAwaitKey) {
+        kill_tx(txid, true,
+                crashed ? obs::ChainBreakCause::kCrash
+                        : obs::ChainBreakCause::kDeparture);
+      }
       continue;
     }
 
@@ -87,8 +108,23 @@ void TChainProtocol::handle_exit(PeerId id, bool crashed) {
 }
 
 void TChainProtocol::census_loop() {
-  chains_.sample(swarm_->simulator().now());
+  if (obs::Trace* tr = swarm_->obs()) {
+    tr->emit({.t = swarm_->simulator().now(),
+              .kind = obs::EventKind::kCensusTick});
+  }
   swarm_->simulator().schedule_in(census_period_, [this] { census_loop(); });
+}
+
+void TChainProtocol::break_chain(ChainId id, obs::ChainBreakCause cause) {
+  const bool was_active = chains_.is_active(id);
+  chains_.terminate(id, swarm_->simulator().now());
+  if (!was_active) return;
+  if (obs::Trace* tr = swarm_->obs()) {
+    tr->emit({.t = swarm_->simulator().now(),
+              .kind = obs::EventKind::kChainBreak,
+              .aux = static_cast<std::uint8_t>(cause),
+              .chain = id});
+  }
 }
 
 void TChainProtocol::opp_loop(PeerId id) {
@@ -164,8 +200,15 @@ bool TChainProtocol::initiate_chain(PeerId donor, bool by_seeder) {
 
   const ChainId chain =
       chains_.create(donor, by_seeder, swarm_->simulator().now());
+  if (obs::Trace* tr = swarm_->obs()) {
+    tr->emit({.t = swarm_->simulator().now(),
+              .kind = obs::EventKind::kChainStart,
+              .aux = static_cast<std::uint8_t>(by_seeder ? 1 : 0),
+              .a = donor,
+              .chain = chain});
+  }
   if (!start_tx(donor, requestor, /*prev=*/0, chain)) {
-    chains_.terminate(chain, swarm_->simulator().now());
+    break_chain(chain, obs::ChainBreakCause::kAborted);
     return false;
   }
   return true;
@@ -262,6 +305,12 @@ bool TChainProtocol::start_tx(PeerId donor, PeerId requestor, TxId prev,
   Transaction& tx = txs_.create(chain, donor, requestor, payee, piece, prev,
                                 swarm_->simulator().now());
   chains_.extend(chain);
+  if (obs::Trace* tr = swarm_->obs()) {
+    tr->emit({.t = swarm_->simulator().now(),
+              .kind = obs::EventKind::kChainExtend,
+              .ref = tx.id,
+              .chain = chain});
+  }
 
   PeerState& ds = state(donor);
   ++ds.active_uploads;
@@ -304,7 +353,7 @@ void TChainProtocol::on_upload_done(TxId txid, bool ok) {
     // chain; a mid-chain abort is either revived by payee reassignment on
     // `prev` below, or `prev` itself was killed by the departure handler.
     const TxId prev = tx->prev;
-    kill_tx(txid, /*terminate_chain=*/prev == 0);
+    kill_tx(txid, /*terminate_chain=*/prev == 0, obs::ChainBreakCause::kAborted);
     if (prev != 0) {
       // This upload was the reciprocation of `prev`; give the previous
       // donor a chance to reassign the payee (§II-B4).
@@ -321,7 +370,7 @@ void TChainProtocol::on_upload_done(TxId txid, bool ok) {
     const TxId prev = tx->prev;
     const ChainId chain = tx->chain;
     swarm_->grant_piece(tx->requestor, tx->piece, tx->donor);
-    chains_.terminate(chain, swarm_->simulator().now());
+    break_chain(chain, obs::ChainBreakCause::kCompleted);
     if (prev != 0) {
       if (Transaction* pv = txs_.get(prev)) pv->next_delivered = true;
       swarm_->send_control(
@@ -370,7 +419,7 @@ void TChainProtocol::handle_encrypted_delivery(Transaction& tx) {
       // piece as missing — it cannot decrypt it — so it remains a valid
       // payee target for other donors (whose chains will in turn die here,
       // capped by their own pending counters).
-      chains_.terminate(tx.chain, swarm_->simulator().now());
+      break_chain(tx.chain, obs::ChainBreakCause::kFreeriderSink);
       if (bt::Peer* fr = swarm_->peer(tx.requestor);
           fr != nullptr && !fr->have.get(tx.piece)) {
         fr->requested.clear(tx.piece);
@@ -406,7 +455,8 @@ void TChainProtocol::process_receipt(TxId prev_id, bool false_receipt) {
   if (!prev->key_escrowed && !swarm_->is_active(prev->donor)) {
     // Donor gone without escrow: key lost; the requestor re-fetches the
     // piece elsewhere.
-    kill_tx(prev_id, /*terminate_chain=*/false);
+    kill_tx(prev_id, /*terminate_chain=*/false,
+            obs::ChainBreakCause::kDeparture);
     return;
   }
   if (prev->key_escrowed) {
@@ -424,6 +474,17 @@ void TChainProtocol::release_key(Transaction& tx, PeerId releaser) {
   const PeerId donor = tx.donor;
   const PieceIndex piece = tx.piece;
   ++stats_.keys_released;
+  if (obs::Trace* tr = swarm_->obs()) {
+    const util::SimTime now = swarm_->simulator().now();
+    tr->emit({.t = now,
+              .kind = obs::EventKind::kKeyDelivered,
+              .piece = piece,
+              .a = donor,
+              .b = requestor,
+              .ref = txid,
+              .chain = tx.chain});
+    tr->registry().histogram("tx.lifetime_s").add(now - tx.started);
+  }
   if (auto it = peers_.find(requestor); it != peers_.end()) {
     if (it->second.obligations > 0) --it->second.obligations;
   }
@@ -435,12 +496,20 @@ void TChainProtocol::release_key(Transaction& tx, PeerId releaser) {
           swarm_->grant_piece(requestor, piece, donor);
         }
       },
-      /*on_lost=*/[this, requestor, piece] {
+      /*on_lost=*/[this, requestor, piece, donor, txid] {
         // The key-release message itself was lost. The requestor's wait
         // times out; it abandons the ciphertext and re-requests the piece
         // from another donor.
         ++stats_.keys_lost;
         ++swarm_->metrics().resilience().keys_lost;
+        if (obs::Trace* tr = swarm_->obs()) {
+          tr->emit({.t = swarm_->simulator().now(),
+                    .kind = obs::EventKind::kKeyLost,
+                    .piece = piece,
+                    .a = donor,
+                    .b = requestor,
+                    .ref = txid});
+        }
         bt::Peer* r = swarm_->peer(requestor);
         if (r != nullptr && r->active && !r->have.get(piece) &&
             r->requested.get(piece)) {
@@ -457,7 +526,7 @@ void TChainProtocol::continue_chain(TxId txid) {
     if (tx == nullptr || tx->state != TxState::kAwaitKey) return;
     if (tx->next != 0 && txs_.get(tx->next) != nullptr) return;  // in flight
     if (!swarm_->is_active(tx->requestor)) {
-      kill_tx(txid, true);
+      kill_tx(txid, true, obs::ChainBreakCause::kDeparture);
       return;
     }
     // A free-riding requestor will never reciprocate, whatever payee the
@@ -469,7 +538,7 @@ void TChainProtocol::continue_chain(TxId txid) {
       return;
     }
     if (!tx->key_escrowed && !swarm_->is_active(tx->donor)) {
-      kill_tx(txid, true);
+      kill_tx(txid, true, obs::ChainBreakCause::kDeparture);
       return;
     }
 
@@ -482,7 +551,7 @@ void TChainProtocol::continue_chain(TxId txid) {
     // escrowed key, however, dies with its payee — the departed donor is
     // not around to pick another (§II-B4's key handoff is best-effort).
     if (tx->key_escrowed) {
-      kill_tx(txid, true);
+      kill_tx(txid, true, obs::ChainBreakCause::kDeparture);
       return;
     }
     const PeerId new_payee = choose_payee(tx->donor, tx->requestor, tx->piece);
@@ -532,11 +601,12 @@ void TChainProtocol::settle_free(Transaction& tx) {
   if (auto it = peers_.find(tx.donor); it != peers_.end()) {
     it->second.pending.resolve(tx.requestor);
   }
-  chains_.terminate(tx.chain, swarm_->simulator().now());
+  break_chain(tx.chain, obs::ChainBreakCause::kNoPayee);
   release_key(tx, tx.donor);
 }
 
-void TChainProtocol::kill_tx(TxId txid, bool terminate_chain) {
+void TChainProtocol::kill_tx(TxId txid, bool terminate_chain,
+                             obs::ChainBreakCause cause) {
   Transaction* tx = txs_.get(txid);
   if (tx == nullptr) return;
   if (tx->encrypted()) {
@@ -550,6 +620,15 @@ void TChainProtocol::kill_tx(TxId txid, bool terminate_chain) {
     // payee, watchdog giving up).
     ++stats_.keys_lost;
     ++swarm_->metrics().resilience().keys_lost;
+    if (obs::Trace* tr = swarm_->obs()) {
+      tr->emit({.t = swarm_->simulator().now(),
+                .kind = obs::EventKind::kKeyLost,
+                .piece = tx->piece,
+                .a = tx->donor,
+                .b = tx->requestor,
+                .ref = txid,
+                .chain = tx->chain});
+    }
     if (auto it = peers_.find(tx->requestor); it != peers_.end()) {
       if (it->second.obligations > 0) --it->second.obligations;
     }
@@ -563,7 +642,7 @@ void TChainProtocol::kill_tx(TxId txid, bool terminate_chain) {
       }
     }
   }
-  if (terminate_chain) chains_.terminate(tx->chain, swarm_->simulator().now());
+  if (terminate_chain) break_chain(tx->chain, cause);
   txs_.erase(txid);
 }
 
@@ -595,6 +674,15 @@ void TChainProtocol::watchdog_fire(TxId txid, int retries) {
 
   if (retries < swarm_->config().tx_max_retries) {
     ++stats_.tx_retries;
+    if (obs::Trace* tr = swarm_->obs()) {
+      tr->emit({.t = swarm_->simulator().now(),
+                .kind = obs::EventKind::kTxRetry,
+                .aux = static_cast<std::uint8_t>(retries < 255 ? retries : 255),
+                .a = tx->donor,
+                .b = tx->requestor,
+                .ref = txid,
+                .chain = tx->chain});
+    }
     if (tx->next_delivered) {
       // The reciprocation piece arrived but our receipt evidently did not:
       // the payee re-sends it (receipt retransmission).
@@ -614,7 +702,15 @@ void TChainProtocol::watchdog_fire(TxId txid, int retries) {
   // requestor's claim clears, and the piece is re-requested elsewhere.
   ++stats_.tx_timeouts;
   ++swarm_->metrics().resilience().transactions_timed_out;
-  kill_tx(txid, /*terminate_chain=*/true);
+  if (obs::Trace* tr = swarm_->obs()) {
+    tr->emit({.t = swarm_->simulator().now(),
+              .kind = obs::EventKind::kTxTimeout,
+              .a = tx->donor,
+              .b = tx->requestor,
+              .ref = txid,
+              .chain = tx->chain});
+  }
+  kill_tx(txid, /*terminate_chain=*/true, obs::ChainBreakCause::kWatchdog);
 }
 
 }  // namespace tc::protocols

@@ -124,8 +124,15 @@ class TChainProtocol : public bt::Protocol {
   void continue_chain(TxId txid);
   bool try_start_reciprocation(core::Transaction& tx);
   void settle_free(core::Transaction& tx);
-  void kill_tx(TxId txid, bool terminate_chain);
+  // `cause` labels the kChainBreak event when terminate_chain is true and
+  // observability is on; ignored otherwise.
+  void kill_tx(TxId txid, bool terminate_chain,
+               obs::ChainBreakCause cause = obs::ChainBreakCause::kAborted);
   void release_key(core::Transaction& tx, PeerId releaser);
+
+  // chains_.terminate plus a kChainBreak trace event (first termination
+  // only — terminate is idempotent and so is the event).
+  void break_chain(ChainId id, obs::ChainBreakCause cause);
 
   core::TransactionTable txs_;
   core::ChainRegistry chains_;

@@ -12,12 +12,21 @@ FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed)
 
 bool FaultInjector::drop_control() {
   if (plan_.control_loss <= 0.0) return false;
-  return rng_.bernoulli(plan_.control_loss);
+  const bool drop = rng_.bernoulli(plan_.control_loss);
+  if (drop && trace_ != nullptr) {
+    trace_->emit({sim_->now(), obs::EventKind::kFaultControlDrop});
+  }
+  return drop;
 }
 
 double FaultInjector::control_delay() {
   if (plan_.control_jitter <= 0.0) return 0.0;
-  return rng_.uniform(0.0, plan_.control_jitter);
+  const double delay = rng_.uniform(0.0, plan_.control_jitter);
+  if (trace_ != nullptr) {
+    trace_->emit({sim_->now(), obs::EventKind::kFaultControlJitter});
+    trace_->registry().histogram("faults.control_jitter_s").add(delay);
+  }
+  return delay;
 }
 
 double FaultInjector::outage_gap() { return rng_.exponential(plan_.outage_rate); }

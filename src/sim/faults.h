@@ -15,6 +15,8 @@
 
 #include <cstdint>
 
+#include "src/obs/trace.h"
+#include "src/sim/simulator.h"
 #include "src/util/rng.h"
 
 namespace tc::sim {
@@ -77,9 +79,19 @@ class FaultInjector {
   // (e.g. the session-duration model lives in src/trace/arrival.*).
   util::Rng& rng() { return rng_; }
 
+  // Observability hookup (Swarm::enable_obs): injected decisions emit
+  // kFaultControlDrop / kFaultControlJitter events stamped with `sim`'s
+  // clock. Null trace (the default) keeps every path draw-identical.
+  void set_trace(obs::Trace* trace, const Simulator* sim) {
+    trace_ = trace;
+    sim_ = sim;
+  }
+
  private:
   FaultPlan plan_;
   util::Rng rng_;
+  obs::Trace* trace_ = nullptr;
+  const Simulator* sim_ = nullptr;
 };
 
 }  // namespace tc::sim

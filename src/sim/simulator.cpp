@@ -10,6 +10,7 @@ Simulator::EventId Simulator::schedule_at(SimTime t, std::function<void()> fn) {
   const std::uint64_t id = next_id_++;
   heap_.push_back(Entry{t, next_seq_++, id, std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end(), FiresLater{});
+  if (heap_.size() > peak_heap_) peak_heap_ = heap_.size();
   return EventId{id};
 }
 
@@ -24,6 +25,7 @@ bool Simulator::cancel(EventId id) {
   if (!id.valid() || id.id >= next_id_ || done(id.id)) return false;
   mark_done(id.id);
   ++cancelled_pending_;
+  ++cancelled_total_;
   return true;
 }
 

@@ -51,6 +51,10 @@ class Simulator {
     return heap_.size() - cancelled_pending_;
   }
   std::uint64_t events_processed() const { return processed_; }
+  // High-water mark of the heap (tombstones included): how deep the event
+  // queue ever got. Surfaced as an obs gauge by exp::run_one.
+  std::size_t peak_pending() const { return peak_heap_; }
+  std::uint64_t cancelled_total() const { return cancelled_total_; }
 
  private:
   struct Entry {
@@ -88,6 +92,8 @@ class Simulator {
   std::vector<Entry> heap_;
   std::vector<std::uint64_t> done_bits_;
   std::size_t cancelled_pending_ = 0;  // tombstones still in heap_
+  std::size_t peak_heap_ = 0;
+  std::uint64_t cancelled_total_ = 0;
 };
 
 }  // namespace tc::sim

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "src/obs/chain_view.h"
+#include "src/obs/trace.h"
+
 namespace tc::core {
 namespace {
 
@@ -59,21 +62,36 @@ TEST(ChainRegistry, MeanTerminatedLength) {
   EXPECT_DOUBLE_EQ(r.mean_terminated_length(), 3.0);
 }
 
-TEST(ChainRegistry, CensusTimeSeries) {
+// The census time series lives in obs::ChainView now: the registry's
+// mutations, mirrored as trace events plus kCensusTick markers, replay into
+// the exact series ChainRegistry::sample() used to accumulate.
+TEST(ChainRegistry, CensusTimeSeriesViaChainView) {
   ChainRegistry r;
-  r.sample(0.0);
+  std::vector<obs::TraceEvent> ev;
+  ev.push_back({.t = 0.0, .kind = obs::EventKind::kCensusTick});
   const ChainId a = r.create(1, true, 0.5);
-  r.create(2, false, 0.6);
-  r.sample(1.0);
+  ev.push_back({.t = 0.5, .kind = obs::EventKind::kChainStart, .aux = 1,
+                .a = 1, .chain = a});
+  const ChainId b = r.create(2, false, 0.6);
+  ev.push_back({.t = 0.6, .kind = obs::EventKind::kChainStart, .aux = 0,
+                .a = 2, .chain = b});
+  ev.push_back({.t = 1.0, .kind = obs::EventKind::kCensusTick});
   r.terminate(a, 1.5);
-  r.sample(2.0);
-  const auto& census = r.census();
+  ev.push_back({.t = 1.5, .kind = obs::EventKind::kChainBreak, .chain = a});
+  ev.push_back({.t = 2.0, .kind = obs::EventKind::kCensusTick});
+
+  const auto view = obs::ChainView::reconstruct(ev);
+  const auto& census = view.census();
   ASSERT_EQ(census.size(), 3u);
   EXPECT_EQ(census[0].active_chains, 0u);
   EXPECT_EQ(census[1].active_chains, 2u);
   EXPECT_EQ(census[2].active_chains, 1u);
   EXPECT_EQ(census[2].cumulative_seeder, 1u);
   EXPECT_EQ(census[2].cumulative_leecher, 1u);
+  // Replayed state agrees with the live registry.
+  EXPECT_EQ(view.active_at_end(), r.active_count());
+  EXPECT_EQ(view.created_by_seeder(), r.created_by_seeder());
+  EXPECT_EQ(view.created_by_leechers(), r.created_by_leechers());
 }
 
 TEST(ChainRegistry, UnknownChainQueriesAreSafe) {

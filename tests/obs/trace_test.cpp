@@ -1,0 +1,104 @@
+// EventRing bounds/wraparound and the Trace facade's kind-mask + counter
+// bookkeeping.
+#include "src/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace tc::obs {
+namespace {
+
+TraceEvent chain_start(std::uint64_t chain, double t = 0.0) {
+  return {.t = t, .kind = EventKind::kChainStart, .chain = chain};
+}
+
+TEST(EventRing, RecordsUpToCapacityWithoutDropping) {
+  EventRing ring(8);
+  for (std::uint64_t i = 0; i < 8; ++i) ring.push(chain_start(i));
+  EXPECT_EQ(ring.size(), 8u);
+  EXPECT_EQ(ring.recorded(), 8u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::uint64_t i = 0; i < 8; ++i) EXPECT_EQ(events[i].chain, i);
+}
+
+TEST(EventRing, WraparoundKeepsNewestAndCountsDropped) {
+  EventRing ring(4);
+  for (std::uint64_t i = 0; i < 10; ++i) ring.push(chain_start(i));
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.recorded(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  // Snapshot is oldest -> newest of the survivors: events 6..9.
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(events[i].chain, 6 + i);
+}
+
+TEST(EventRing, ZeroCapacityClampsToOne) {
+  EventRing ring(0);
+  ring.push(chain_start(1));
+  ring.push(chain_start(2));
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.dropped(), 1u);
+  EXPECT_EQ(ring.snapshot().at(0).chain, 2u);
+}
+
+TEST(Trace, KindMaskFiltersBothRingAndCounters) {
+  TraceConfig cfg;
+  cfg.kind_mask = kind_bit(EventKind::kChainStart);
+  Trace trace(cfg);
+  trace.emit(chain_start(1));
+  trace.emit({.kind = EventKind::kTxOpen, .ref = 7});  // masked out
+  EXPECT_EQ(trace.count(EventKind::kChainStart), 1u);
+  EXPECT_EQ(trace.count(EventKind::kTxOpen), 0u);
+  EXPECT_EQ(trace.events().size(), 1u);
+  EXPECT_EQ(trace.ring().recorded(), 1u);
+}
+
+TEST(Trace, CountSurvivesRingWraparound) {
+  TraceConfig cfg;
+  cfg.ring_capacity = 2;
+  Trace trace(cfg);
+  for (std::uint64_t i = 0; i < 5; ++i) trace.emit(chain_start(i));
+  EXPECT_EQ(trace.count(EventKind::kChainStart), 5u);  // mask-accepted total
+  EXPECT_EQ(trace.events().size(), 2u);                // ring kept the tail
+  EXPECT_EQ(trace.ring().dropped(), 3u);
+}
+
+TEST(Trace, SnapshotExposesEventCountsAndRingBookkeeping) {
+  Trace trace;
+  trace.emit(chain_start(1));
+  trace.emit(chain_start(2));
+  trace.registry().counter("tx.opened").inc(3);
+  const auto snap = trace.snapshot();
+  auto find = [&](const std::string& key) -> const double* {
+    for (const auto& [k, v] : snap) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  };
+  ASSERT_NE(find("events.chain-start"), nullptr);
+  EXPECT_EQ(*find("events.chain-start"), 2.0);
+  ASSERT_NE(find("events.recorded"), nullptr);
+  EXPECT_EQ(*find("events.recorded"), 2.0);
+  ASSERT_NE(find("events.dropped"), nullptr);
+  EXPECT_EQ(*find("events.dropped"), 0.0);
+  ASSERT_NE(find("tx.opened"), nullptr);
+  EXPECT_EQ(*find("tx.opened"), 3.0);
+}
+
+TEST(Trace, EventKindNamesAreUniqueAndKebabCase) {
+  std::vector<std::string> names;
+  for (std::size_t k = 0; k < kEventKindCount; ++k) {
+    const std::string n = event_kind_name(static_cast<EventKind>(k));
+    EXPECT_NE(n, "?");
+    for (char c : n) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || c == '-') << n;
+    }
+    for (const auto& prev : names) EXPECT_NE(n, prev);
+    names.push_back(n);
+  }
+}
+
+}  // namespace
+}  // namespace tc::obs

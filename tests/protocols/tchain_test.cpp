@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "src/analysis/metrics.h"
+#include "src/obs/chain_view.h"
 
 namespace tc::protocols {
 namespace {
@@ -94,14 +95,23 @@ TEST(TChain, CollusionLetsFreeRidersProgressSlowly) {
 TEST(TChain, ChainsFormAndTerminate) {
   TChainProtocol proto;
   bt::Swarm swarm(small_config(20), proto);
+  obs::TraceConfig tc;
+  tc.kind_mask = obs::kChainKinds;
+  swarm.enable_obs(tc);
   swarm.run();
   const auto& chains = proto.chains();
   EXPECT_GT(chains.total_created(), 0u);
   EXPECT_GT(chains.mean_terminated_length(), 1.0);  // chains actually grow
   // At the end all leechers are gone: no chain can still be active.
   EXPECT_EQ(chains.active_count(), 0u);
-  // Census sampled over time.
-  EXPECT_GT(chains.census().size(), 2u);
+  // The census series is reconstructed from trace events and agrees with
+  // the live registry's final counters.
+  const auto view = obs::ChainView::reconstruct(swarm.obs()->events());
+  EXPECT_GT(view.census().size(), 2u);
+  EXPECT_EQ(view.total_created(), chains.total_created());
+  EXPECT_EQ(view.active_at_end(), chains.active_count());
+  EXPECT_NEAR(view.mean_terminated_length(), chains.mean_terminated_length(),
+              1e-12);
 }
 
 TEST(TChain, OpportunisticSeedingCreatesLeecherChains) {
