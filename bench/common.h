@@ -17,11 +17,16 @@
 //                 per-run obs event tracing: Chrome trace-event JSON
 //                 (load PREFIX.run<i>.json in Perfetto) / raw event CSV /
 //                 ring capacity (see exp::apply_trace_flags)
+//   --check       verify every run online against the protocol invariant
+//                 catalogue (src/check); violations are reported on stderr
+//                 and the bench exits 2 without printing its tables
 // plus bench-specific sweeps. Scaled defaults are chosen so each bench
 // finishes in tens of seconds on one core while preserving the paper's
 // qualitative shape (see EXPERIMENTS.md).
 #pragma once
 
+#include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -122,8 +127,26 @@ inline std::vector<RunSpec> concat(std::initializer_list<const Sweep*> sweeps) {
 inline std::vector<RunRecord> run(std::vector<RunSpec> specs,
                                   const util::Flags& flags) {
   exp::apply_trace_flags(specs, flags);
+  exp::apply_check_flag(specs, flags);
   const auto records =
       exp::run_all(specs, exp::runner_options_from_flags(flags));
+  if (flags.get_bool("check")) {
+    std::size_t unsound = 0;
+    const std::uint64_t violations =
+        exp::total_check_violations(records, &unsound);
+    if (violations > 0) {
+      std::cerr << "[check] " << violations
+                << " invariant violation(s) across " << records.size()
+                << " run(s)";
+      if (unsound > 0) std::cerr << " (" << unsound << " run(s) unsound)";
+      std::cerr << "\n";
+      std::exit(2);
+    }
+    if (unsound > 0) {
+      std::cerr << "[check] warning: " << unsound
+                << " run(s) had lossy verification windows (UNSOUND)\n";
+    }
+  }
   const bool timing = flags.get_bool("timing");
   for (const char* kind : {"records-csv", "records-json"}) {
     if (!flags.has(kind)) continue;

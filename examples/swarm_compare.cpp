@@ -53,8 +53,14 @@ int main(int argc, char** argv) {
       });
   auto specs = sweep.build();
   exp::apply_trace_flags(specs, flags);
+  exp::apply_check_flag(specs, flags);
   const auto records =
       exp::run_all(specs, exp::runner_options_from_flags(flags));
+  if (flags.get_bool("check") &&
+      exp::total_check_violations(records) > 0) {
+    std::cerr << "[check] invariant violations detected\n";
+    return 2;
+  }
 
   util::AsciiTable t({"protocol", "free-riders", "compliant mean (s)",
                       "ci95", "freerider mean (s)", "freeriders done",

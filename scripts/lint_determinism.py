@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Determinism lint for the simulation tree.
+
+The whole experiment pipeline promises bit-identical output for identical
+specs (seeded RNG, spec-order results, no wall-clock in data paths). This
+lint bans the constructs that silently break that promise:
+
+  * rand() / srand()            — unseeded global RNG
+  * time(...) / clock()         — wall clock in simulation code
+  * std::random_device          — nondeterministic seed source
+  * std::chrono::system_clock   — wall clock (steady_clock is allowed only
+                                  in whitelisted timing/progress code)
+  * unseeded std::mt19937       — default-constructed engines draw from an
+                                  implementation seed
+  * range-for over unordered_{map,set} — iteration order is unspecified;
+    feeding it into output, aggregation, or event scheduling makes runs
+    diverge across standard libraries. Iterate a sorted copy or an ordered
+    container instead.
+
+Escapes:
+  * a `// det-ok` comment on the offending line suppresses it (use for
+    provably order-insensitive folds, e.g. counting matches);
+  * WHITELIST entries suppress a rule for a whole file (timing code that
+    is documented as nondeterministic, the RNG implementation itself).
+
+Exit status: 0 clean, 1 findings. Run from the repo root (CI does).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+SCAN_DIRS = ["src", "bench", "tools", "examples"]
+EXTENSIONS = {".cpp", ".h"}
+
+# (path-suffix, rule-name) pairs exempted with a reason.
+WHITELIST = {
+    # The runner's wall-clock throughput summary is stderr-only and
+    # documented as nondeterministic (RunRecord::wall_seconds).
+    ("src/exp/runner.cpp", "steady_clock"),
+    # The seeded RNG implementation wraps the engine type itself.
+    ("src/util/rng.h", "mt19937"),
+    ("src/util/rng.cpp", "mt19937"),
+    # Wall-clock throughput measurement is this microbench's entire job;
+    # its output is labelled as machine-dependent.
+    ("bench/bench_overhead_crypto.cpp", "steady_clock"),
+}
+
+RULES = [
+    ("rand", re.compile(r"(?<![\w])s?rand\s*\("), "rand()/srand() is unseeded global state"),
+    ("time", re.compile(r"(?<![\w.>])time\s*\(\s*(NULL|nullptr|0|&)"), "time() reads the wall clock"),
+    ("clock", re.compile(r"(?<![\w.>:])clock\s*\(\s*\)"), "clock() reads the wall clock"),
+    ("random_device", re.compile(r"std::random_device"), "std::random_device is nondeterministic"),
+    ("system_clock", re.compile(r"std::chrono::system_clock"), "system_clock reads the wall clock"),
+    ("steady_clock", re.compile(r"std::chrono::steady_clock|chrono::steady_clock"), "steady_clock timing belongs in whitelisted progress code only"),
+    ("mt19937", re.compile(r"\bstd::mt19937(_64)?\b"), "raw std::mt19937 outside util::Rng risks an unseeded engine"),
+]
+
+# Range-for directly over an unordered container member/variable. Two
+# patterns: `for (... : name)` where `name` was declared unordered in the
+# same file, and the inline `for (... : fn())` case is left to review.
+UNORDERED_DECL = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+(\w+)\s*[;{=(]"
+)
+RANGE_FOR = re.compile(r"for\s*\(.*?:\s*(?:this->)?(\w+)\s*\)")
+
+DET_OK = "det-ok"
+
+
+def strip_comments_keep_lines(text: str) -> list[str]:
+    """Remove /* */ and // comment bodies but keep line structure, so the
+    scanners don't fire on prose. `det-ok` markers are honoured before
+    stripping (the caller checks the raw line)."""
+    out = []
+    in_block = False
+    for raw in text.splitlines():
+        line = raw
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                out.append("")
+                continue
+            line = " " * (end + 2) + line[end + 2:]
+            in_block = False
+        # strip // first so "/*" inside a line comment doesn't open a block
+        cut = line.find("//")
+        if cut >= 0:
+            line = line[:cut]
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block = True
+                break
+            line = line[:start] + " " * (end - start + 2) + line[end + 2:]
+        out.append(line)
+    return out
+
+
+def scan_file(path: Path) -> list[str]:
+    rel = path.as_posix()
+    raw_lines = path.read_text(encoding="utf-8").splitlines()
+    code_lines = strip_comments_keep_lines("\n".join(raw_lines))
+
+    findings = []
+
+    def exempt(rule: str, lineno: int) -> bool:
+        if DET_OK in raw_lines[lineno - 1]:
+            return True
+        return any(rel.endswith(suffix) and rule == r for suffix, r in WHITELIST)
+
+    for lineno, line in enumerate(code_lines, start=1):
+        for rule, pattern, why in RULES:
+            if pattern.search(line) and not exempt(rule, lineno):
+                findings.append(f"{rel}:{lineno}: [{rule}] {why}")
+
+    # Pass 2: names declared as unordered containers in this file, then
+    # range-for'd. Order-insensitive loops get a `// det-ok`.
+    unordered_names = set()
+    for line in code_lines:
+        for m in UNORDERED_DECL.finditer(line):
+            unordered_names.add(m.group(1))
+    for lineno, line in enumerate(code_lines, start=1):
+        m = RANGE_FOR.search(line)
+        if m and m.group(1) in unordered_names and not exempt("unordered-iter", lineno):
+            findings.append(
+                f"{rel}:{lineno}: [unordered-iter] range-for over unordered "
+                f"container '{m.group(1)}' has unspecified order; sort first "
+                f"or mark order-insensitive folds with // det-ok"
+            )
+    return findings
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    findings = []
+    for d in SCAN_DIRS:
+        for path in sorted((root / d).rglob("*")):
+            if path.suffix in EXTENSIONS and path.is_file():
+                findings.extend(scan_file(path))
+    if findings:
+        print(f"determinism lint: {len(findings)} finding(s)")
+        for f in findings:
+            print(f"  {f}")
+        return 1
+    print("determinism lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

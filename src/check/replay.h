@@ -1,0 +1,23 @@
+// Offline trace replay: parses the event CSV written by
+// obs::write_event_csv back into TraceEvents so exported runs can be
+// verified after the fact (the tchain-verify tool, offline tests).
+//
+// The CSV only holds what survived the ring, so callers must pair the
+// stream with the producer's drop count ("events.dropped" in the record
+// extras / Trace::snapshot) to keep the soundness contract honest.
+#pragma once
+
+#include <istream>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace tc::check {
+
+// Parses a `t,kind,a,b,c,piece,ref,chain,aux` CSV (header required) into
+// events in file order. Empty a/b/c map to net::kNoPeer, empty piece to
+// net::kNoPiece. Throws std::runtime_error naming the offending line on
+// malformed input (unknown kind, bad field count, non-numeric field).
+std::vector<obs::TraceEvent> read_event_csv(std::istream& in);
+
+}  // namespace tc::check

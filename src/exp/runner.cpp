@@ -5,10 +5,13 @@
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <memory>
+#include <sstream>
 #include <thread>
 
 #include "src/analysis/metrics.h"
 #include "src/bt/swarm.h"
+#include "src/check/invariants.h"
 #include "src/obs/export.h"
 #include "src/protocols/registry.h"
 
@@ -35,6 +38,34 @@ RunResult summarize(const bt::Swarm& swarm) {
   r.end_time = swarm.end_time();
   r.resilience = m.resilience();
   return r;
+}
+
+// Snapshots a finished checker into the record's "check.*" extras and, on
+// violations, writes the findings to stderr in one shot (single write so
+// concurrent workers don't interleave).
+void record_check(check::Checker& checker, const RunSpec& spec,
+                  std::size_t index, RunRecord& rec) {
+  const check::CheckReport& rep = checker.finish();
+  rec.add_extra("check.sound", rep.sound ? 1 : 0);
+  rec.add_extra("check.events", static_cast<double>(rep.events));
+  rec.add_extra("check.violations", static_cast<double>(rep.total_violations));
+  rec.add_extra("check.possible", static_cast<double>(rep.possible_violations));
+  rec.add_extra("check.warnings", static_cast<double>(rep.warnings));
+  for (std::size_t c = 0; c < check::kInvariantCount; ++c) {
+    if (rep.by_class[c] == 0) continue;
+    rec.add_extra(std::string("check.v.") +
+                      check::invariant_name(static_cast<check::Invariant>(c)),
+                  static_cast<double>(rep.by_class[c]));
+  }
+  if (rep.total_violations + rep.possible_violations > 0) {
+    std::ostringstream os;
+    os << "[check] run " << index << " (" << spec.protocol;
+    if (!spec.label.empty()) os << " " << spec.label;
+    os << " seed=" << spec.config.seed << "):\n";
+    check::write_report(os, rep, 5);
+    const std::string msg = os.str();
+    std::fwrite(msg.data(), 1, msg.size(), stderr);
+  }
 }
 
 }  // namespace
@@ -76,6 +107,24 @@ void apply_trace_flags(std::vector<RunSpec>& specs, const util::Flags& flags) {
   }
 }
 
+void apply_check_flag(std::vector<RunSpec>& specs, const util::Flags& flags) {
+  if (!flags.get_bool("check")) return;
+  for (RunSpec& spec : specs) spec.check = true;
+}
+
+std::uint64_t total_check_violations(const std::vector<RunRecord>& records,
+                                     std::size_t* unsound) {
+  std::uint64_t total = 0;
+  std::size_t lossy = 0;
+  for (const RunRecord& rec : records) {
+    total += static_cast<std::uint64_t>(rec.extra_value("check.violations"));
+    total += static_cast<std::uint64_t>(rec.extra_value("check.possible"));
+    if (rec.extra_value("check.sound", 1.0) == 0.0) ++lossy;
+  }
+  if (unsound != nullptr) *unsound = lossy;
+  return total;
+}
+
 std::size_t effective_jobs(const RunnerOptions& opts, std::size_t spec_count) {
   std::size_t jobs = opts.jobs;
   if (jobs == 0) {
@@ -95,11 +144,31 @@ RunRecord run_one(const RunSpec& spec, std::size_t index) {
   rec.tags = spec.tags;
   const auto t0 = Clock::now();
   try {
+    // The checker must outlive the swarm (the swarm's Trace holds a raw
+    // sink pointer), so it is declared first.
+    std::unique_ptr<check::Checker> checker;
+    if (spec.check) {
+      check::CheckerOptions copts;
+      copts.pending_cap = spec.config.pending_cap;
+      checker = std::make_unique<check::Checker>(copts);
+    }
     auto proto = protocols::make_protocol(spec.protocol);
     bt::Swarm swarm(spec.config, *proto, spec.arrivals);
-    if (spec.trace.enabled) swarm.enable_obs(spec.trace);
+    if (spec.trace.enabled) {
+      swarm.enable_obs(spec.trace);
+    } else if (checker) {
+      // Checking without tracing: the sink sees every event pre-ring, so a
+      // minimal throwaway ring is enough.
+      obs::TraceConfig minimal;
+      minimal.enabled = true;
+      minimal.ring_capacity = 1;
+      minimal.kind_mask = 0;
+      swarm.enable_obs(minimal);
+    }
+    if (checker) swarm.obs()->set_sink(checker.get());
     if (spec.setup) spec.setup(swarm);
     swarm.run();
+    if (checker) record_check(*checker, spec, index, rec);
     rec.result = summarize(swarm);
     rec.sim_events = swarm.simulator().events_processed();
     if (spec.inspect) spec.inspect(swarm, *proto, rec);

@@ -47,6 +47,18 @@ RunnerOptions runner_options_from_flags(const util::Flags& flags);
 // Without any of these flags the specs are left untouched.
 void apply_trace_flags(std::vector<RunSpec>& specs, const util::Flags& flags);
 
+// Plumbs the shared --check flag into `specs`: sets RunSpec::check on every
+// spec so each run is verified online against the protocol invariant
+// catalogue (src/check/invariants.h). Without the flag the specs are left
+// untouched.
+void apply_check_flag(std::vector<RunSpec>& specs, const util::Flags& flags);
+
+// Sums "check.violations" (and, for unsound runs, "check.possible") across
+// records; `unsound` (optional) receives the number of runs whose
+// verification window lost events. Records without check extras count 0.
+std::uint64_t total_check_violations(const std::vector<RunRecord>& records,
+                                     std::size_t* unsound = nullptr);
+
 // The number of threads `opts` resolves to for `spec_count` runs.
 std::size_t effective_jobs(const RunnerOptions& opts, std::size_t spec_count);
 

@@ -47,6 +47,16 @@ struct RunSpec {
   // its serialized record — byte-identical to a spec without this field.
   obs::TraceConfig trace;
 
+  // Invariant checking (src/check): when true the runner attaches a
+  // check::Checker as the trace's EventSink for the run (force-enabling a
+  // minimal trace if this spec has none — the sink sees every event before
+  // the ring, so the ring can stay tiny) and snapshots the verdict into
+  // RunRecord::extra as "check.*" keys ("check.sound", "check.events",
+  // "check.violations", "check.warnings", and per-class
+  // "check.v.<invariant>"). Off (the default) leaves the run and its record
+  // byte-identical to a spec without this field.
+  bool check = false;
+
   // Optional hooks, both run on the worker thread that owns this run and
   // must capture only per-spec state (the determinism and thread-safety
   // contract: disjoint specs touch disjoint data).

@@ -131,6 +131,17 @@ struct TraceConfig {
   std::string export_csv;
 };
 
+// Online consumer of the full event stream (src/check's invariant checker
+// implements this). A sink registered on a Trace observes every emitted
+// event *before* the kind mask and the ring, so it is lossless even when
+// the ring wraps: verification against a live sink is always sound, while
+// verification against a ring snapshot is sound only when dropped() == 0.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void on_event(const TraceEvent& e) = 0;
+};
+
 // Bounded ring of TraceEvents: grows to `capacity`, then overwrites the
 // oldest event (counted as dropped).
 class EventRing {
@@ -162,13 +173,21 @@ class Trace {
  public:
   explicit Trace(const TraceConfig& cfg = {});
 
-  // Records `e` if its kind passes the mask. The caller stamps `t`.
+  // Records `e` if its kind passes the mask. The caller stamps `t`. A
+  // registered sink sees `e` first, unmasked and before any ring overwrite
+  // (see EventSink).
   void emit(const TraceEvent& e) {
+    if (sink_ != nullptr) sink_->on_event(e);
     const auto k = static_cast<std::size_t>(e.kind);
     if (((mask_ >> k) & 1u) == 0) return;
     ++kind_counts_[k];
     ring_.push(e);
   }
+
+  // At most one sink; null detaches. The sink must outlive the Trace (or be
+  // detached first) and is invoked synchronously from emit().
+  void set_sink(EventSink* sink) { sink_ = sink; }
+  EventSink* sink() const { return sink_; }
 
   std::uint64_t kind_mask() const { return mask_; }
   const EventRing& ring() const { return ring_; }
@@ -189,6 +208,7 @@ class Trace {
 
  private:
   std::uint64_t mask_;
+  EventSink* sink_ = nullptr;
   EventRing ring_;
   std::array<std::uint64_t, kEventKindCount> kind_counts_{};
   Registry registry_;
