@@ -1,166 +1,62 @@
-// Live demonstration of one full T-Chain triangle (Figure 1(a)) over real
-// TCP sockets on loopback, with real encryption:
+// Live demonstration of T-Chain triangles (Figure 1(a)) over real TCP
+// sockets on loopback, with real encryption — now driven by the src/rt
+// deployment runtime instead of hand-scripted threads.
 //
-//   1. donor A encrypts piece p1 under a fresh ChaCha20 key and sends
-//      [ null | K[p1] | payee=C ] to requestor B;
-//   2. B reciprocates by uploading an encrypted piece p2 to payee C
-//      (here: the newcomer forward of §II-D1);
-//   3. C sends the HMAC-authenticated reception report r_C = [B | p1] to A;
-//   4. A releases the key; B decrypts and verifies the piece hash.
+// A three-peer swarm (1 seeder, 2 leechers) runs on one reactor: donor
+// transactions encrypt pieces under fresh ChaCha20 keys, requestors
+// reciprocate toward designated payees (including the §II-D1 newcomer
+// forward), payees return HMAC-authenticated reception reports, and keys
+// are released on receipt. Every protocol byte crosses a real TCP
+// connection, and the whole run is verified live against the protocol
+// invariant catalogue (src/check).
 //
-// Three threads play A, B and C as separate socket endpoints; every
-// protocol byte crosses a real TCP connection. Receive timeouts
-// (--timeout, default 10 s) make a wedged or dead peer a printed error
-// and a nonzero exit instead of a hang or a SIGPIPE death.
-#include <atomic>
+//   tcp_triangle [--pieces N] [--piece-kb KB] [--seed S] [--deadline SEC]
+//
+// Exit: 0 = both leechers completed and the checker PASSed, 1 otherwise.
+#include <exception>
 #include <iostream>
-#include <thread>
 
-#include "src/core/exchange.h"
-#include "src/net/tcp.h"
+#include "src/check/invariants.h"
+#include "src/rt/swarm.h"
 #include "src/util/flags.h"
 
-namespace {
-
-using namespace tc;
-
-constexpr net::PeerId kA = 1, kB = 2, kC = 3;
-constexpr net::TxId kTx1 = 100, kTx2 = 101;
-constexpr net::PieceIndex kPiece1 = 7, kPiece2 = 7;  // B forwards p1's index
-
-util::Bytes make_piece(std::size_t len, std::uint8_t tag) {
-  util::Bytes b(len);
-  for (std::size_t i = 0; i < len; ++i)
-    b[i] = static_cast<std::uint8_t>(tag ^ (i * 37));
-  return b;
-}
-
-std::atomic<int> g_failures{0};
-
-// Runs one endpoint's script; any socket error (timeout, peer gone,
-// unexpected message) fails that endpoint cleanly instead of taking the
-// process down.
-template <typename Fn>
-void endpoint(const char* who, Fn&& fn) {
-  try {
-    fn();
-  } catch (const std::exception& e) {
-    std::cerr << "[" << who << "] FAILED: " << e.what() << "\n";
-    ++g_failures;
-  }
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  util::Flags flags(argc, argv);
-  const auto piece_bytes =
-      static_cast<std::size_t>(flags.get_int("piece-kb", 64)) * 1024;
-  const double timeout = flags.get_double("timeout", 10.0);
+  const tc::util::Flags flags(argc, argv);
 
-  const auto cipher = crypto::make_cipher(crypto::CipherKind::kChaCha20);
-  const auto piece1 = make_piece(piece_bytes, 0xA1);
-  const auto piece1_hash = crypto::sha256(piece1);
+  tc::rt::SwarmOptions opts;
+  opts.peers = 3;
+  opts.piece_count = static_cast<std::uint32_t>(flags.get_int("pieces", 8));
+  opts.piece_bytes =
+      static_cast<std::uint32_t>(flags.get_int("piece-kb", 16) * 1024);
+  opts.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  opts.deadline_seconds = flags.get_double("deadline", 20.0);
 
-  // B listens for A's upload; C listens for B's reciprocation; A listens
-  // for C's receipt.
-  net::Listener b_in(0), c_in(0), a_in(0);
+  std::cout << "tcp_triangle: 3 live peers (1 seeder), " << opts.piece_count
+            << " pieces x " << opts.piece_bytes / 1024 << " KiB over "
+            << "loopback TCP\n";
 
-  std::cout << "T-Chain TCP triangle on loopback (piece " << piece_bytes / 1024
-            << " KiB)\n";
-
-  // --- A: donor -------------------------------------------------------------
-  std::thread thread_a([&] {
-    endpoint("A", [&] {
-      crypto::KeySource keys(0xA);
-      core::DonorSession donor(kTx1, /*chain=*/1, kA, kB, kC, kPiece1,
-                               net::kNoPeer, net::kNoPiece, piece1, *cipher,
-                               keys);
-      // 1) upload encrypted piece to B.
-      auto to_b =
-          net::FrameSocket::connect_to("127.0.0.1", b_in.port(), timeout);
-      to_b.send_message(net::Message{donor.offer()});
-      std::cout << "[A] sent K[p1] to B, payee = C\n";
-
-      // 4) wait for C's receipt, verify, release key.
-      auto from_c = a_in.accept();
-      from_c.set_recv_timeout(timeout);
-      const auto msg = from_c.recv_message();
-      if (!msg) throw std::runtime_error("C hung up before sending a receipt");
-      const auto& receipt = std::get<net::ReceiptMsg>(*msg);
-      if (!donor.accept_receipt(receipt))
-        throw std::runtime_error("receipt REJECTED (bad HMAC)");
-      std::cout << "[A] receipt from C verified (HMAC ok), releasing key\n";
-      to_b.send_message(net::Message{donor.key_release()});
-    });
-  });
-
-  // --- B: requestor ------------------------------------------------------------
-  std::thread thread_b([&] {
-    endpoint("B", [&] {
-      auto from_a = b_in.accept();
-      from_a.set_recv_timeout(timeout);
-      const auto offer_msg = from_a.recv_message();
-      if (!offer_msg) throw std::runtime_error("A hung up before the offer");
-      const auto& offer = std::get<net::EncryptedPieceMsg>(*offer_msg);
-      core::RequestorSession requestor(offer);
-      std::cout << "[B] got encrypted piece " << offer.piece
-                << " (useless without key), must reciprocate to peer "
-                << offer.payee << "\n";
-
-      // 2) reciprocate: newcomer forward of the pending ciphertext,
-      // re-encrypted under B's own key (§II-D1).
-      crypto::KeySource keys(0xB);
-      core::DonorSession b_donor(kTx2, /*chain=*/1, kB, kC, /*payee=*/kB,
-                                 kPiece2, /*prev_donor=*/kA,
-                                 /*prev_piece=*/kPiece1, requestor.ciphertext(),
-                                 *cipher, keys);
-      auto to_c =
-          net::FrameSocket::connect_to("127.0.0.1", c_in.port(), timeout);
-      to_c.send_message(net::Message{b_donor.offer()});
-      std::cout << "[B] reciprocated: uploaded K'[p2] to C\n";
-
-      // 4b) receive the key from A, decrypt, verify hash.
-      const auto key_msg = from_a.recv_message();
-      if (!key_msg)
-        throw std::runtime_error("A hung up before releasing the key");
-      const auto plain = requestor.complete(
-          std::get<net::KeyReleaseMsg>(*key_msg), *cipher, piece1_hash);
-      if (!plain) throw std::runtime_error("decryption FAILED");
-      std::cout << "[B] key received; piece decrypted and hash VERIFIED ("
-                << plain->size() << " bytes)\n";
-    });
-  });
-
-  // --- C: payee ---------------------------------------------------------------
-  std::thread thread_c([&] {
-    endpoint("C", [&] {
-      auto from_b = c_in.accept();
-      from_b.set_recv_timeout(timeout);
-      const auto msg = from_b.recv_message();
-      if (!msg)
-        throw std::runtime_error("B hung up before the reciprocation");
-      const auto& reciprocation = std::get<net::EncryptedPieceMsg>(*msg);
-      std::cout << "[C] received B's reciprocation (for tx of donor "
-                << reciprocation.prev_donor << "), reporting to A\n";
-
-      // 3) authenticated reception report to A.
-      const auto receipt =
-          core::PayeeSession::make_receipt(reciprocation, kA, kTx1);
-      auto to_a =
-          net::FrameSocket::connect_to("127.0.0.1", a_in.port(), timeout);
-      to_a.send_message(net::Message{receipt});
-    });
-  });
-
-  thread_a.join();
-  thread_b.join();
-  thread_c.join();
-  if (g_failures.load() > 0) {
-    std::cerr << "triangle INCOMPLETE: " << g_failures.load()
-              << " endpoint(s) failed.\n";
+  tc::rt::SwarmResult res;
+  try {
+    res = tc::rt::run_local_swarm(opts);
+  } catch (const std::exception& e) {
+    std::cerr << "tcp_triangle: " << e.what() << "\n";
     return 1;
   }
-  std::cout << "triangle complete: almost-fair exchange settled.\n";
-  return 0;
+
+  for (const tc::rt::PeerStat& p : res.peers) {
+    std::cout << "  peer " << p.id << (p.seeder ? " (seeder)" : "") << ": ";
+    if (p.seeder) {
+      std::cout << "serving\n";
+    } else if (p.complete) {
+      std::cout << "complete at " << p.finish_seconds << " s\n";
+    } else {
+      std::cout << "INCOMPLETE\n";
+    }
+  }
+  tc::check::write_report(std::cout, res.check);
+
+  const bool ok = res.all_complete && res.check.clean();
+  std::cout << (ok ? "triangle OK: exchange verified fair\n"
+                   : "triangle FAILED\n");
+  return ok ? 0 : 1;
 }

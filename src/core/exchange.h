@@ -47,6 +47,14 @@ class DonorSession {
   bool accept_receipt(const net::ReceiptMsg& receipt);
   bool receipted() const { return receipted_; }
 
+  // §II-B4: the payee left or stopped needing pieces; future receipts must
+  // come from (and be MAC'd by) the replacement instead.
+  void reassign_payee(PeerId new_payee) { offer_.payee = new_payee; }
+
+  TxId tx() const { return offer_.tx; }
+  PeerId payee() const { return offer_.payee; }
+  PieceIndex piece() const { return offer_.piece; }
+
   // Precondition: receipted(). The key-release message for the requestor.
   net::KeyReleaseMsg key_release() const;
 

@@ -20,6 +20,9 @@ const char* message_type_name(MsgType t) {
     case MsgType::kReceipt: return "receipt";
     case MsgType::kKeyRelease: return "key-release";
     case MsgType::kPayeeReassign: return "payee-reassign";
+    case MsgType::kAnnounce: return "announce";
+    case MsgType::kPeerList: return "peer-list";
+    case MsgType::kPayeeNotify: return "payee-notify";
   }
   return "?";
 }
@@ -77,6 +80,29 @@ void encode_body(util::ByteWriter& w, const KeyReleaseMsg& m) {
 void encode_body(util::ByteWriter& w, const PayeeReassignMsg& m) {
   w.u64(m.tx);
   w.u32(m.new_payee);
+}
+
+void encode_body(util::ByteWriter& w, const AnnounceMsg& m) {
+  w.u32(m.peer);
+  w.str(m.swarm);
+  w.u16(m.port);
+  w.u8(m.event);
+}
+
+void encode_body(util::ByteWriter& w, const PeerListMsg& m) {
+  w.u32(static_cast<std::uint32_t>(m.peers.size()));
+  for (const PeerEndpoint& e : m.peers) {
+    w.u32(e.peer);
+    w.u16(e.port);
+  }
+}
+
+void encode_body(util::ByteWriter& w, const PayeeNotifyMsg& m) {
+  w.u64(m.tx);
+  w.u64(m.chain);
+  w.u32(m.donor);
+  w.u32(m.requestor);
+  w.u32(m.piece);
 }
 
 HandshakeMsg decode_handshake(util::ByteReader& r) {
@@ -146,6 +172,42 @@ PayeeReassignMsg decode_reassign(util::ByteReader& r) {
   return m;
 }
 
+AnnounceMsg decode_announce(util::ByteReader& r) {
+  AnnounceMsg m;
+  m.peer = r.u32();
+  m.swarm = r.str();
+  m.port = r.u16();
+  m.event = r.u8();
+  return m;
+}
+
+PeerListMsg decode_peer_list(util::ByteReader& r) {
+  PeerListMsg m;
+  const std::uint32_t n = r.u32();
+  // Each endpoint is 6 bytes on the wire; bound the reserve by what the
+  // buffer can actually hold so a forged count cannot balloon memory.
+  if (r.remaining() / 6 < n)
+    throw std::out_of_range("decode_message: peer list count exceeds frame");
+  m.peers.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    PeerEndpoint e;
+    e.peer = r.u32();
+    e.port = r.u16();
+    m.peers.push_back(e);
+  }
+  return m;
+}
+
+PayeeNotifyMsg decode_payee_notify(util::ByteReader& r) {
+  PayeeNotifyMsg m;
+  m.tx = r.u64();
+  m.chain = r.u64();
+  m.donor = r.u32();
+  m.requestor = r.u32();
+  m.piece = r.u32();
+  return m;
+}
+
 }  // namespace
 
 util::Bytes encode_message(const Message& m) {
@@ -168,6 +230,9 @@ Message decode_message(const util::Bytes& wire) {
     case MsgType::kReceipt: out = decode_receipt(r); break;
     case MsgType::kKeyRelease: out = decode_key(r); break;
     case MsgType::kPayeeReassign: out = decode_reassign(r); break;
+    case MsgType::kAnnounce: out = decode_announce(r); break;
+    case MsgType::kPeerList: out = decode_peer_list(r); break;
+    case MsgType::kPayeeNotify: out = decode_payee_notify(r); break;
     default:
       throw std::invalid_argument("decode_message: unknown message type");
   }

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string>
 #include <variant>
+#include <vector>
 
 #include "src/crypto/cipher.h"
 #include "src/crypto/sha256.h"
@@ -99,9 +100,47 @@ struct PayeeReassignMsg {
   bool operator==(const PayeeReassignMsg&) const = default;
 };
 
+// Peer -> tracker: join/renew (kAnnounceRenew) or leave (kAnnounceDepart)
+// the swarm. `port` is where the peer's own listener accepts connections.
+inline constexpr std::uint8_t kAnnounceRenew = 0;
+inline constexpr std::uint8_t kAnnounceDepart = 1;
+struct AnnounceMsg {
+  PeerId peer = kNoPeer;
+  std::string swarm;  // infohash-like swarm name
+  std::uint16_t port = 0;
+  std::uint8_t event = kAnnounceRenew;
+  bool operator==(const AnnounceMsg&) const = default;
+};
+
+struct PeerEndpoint {
+  PeerId peer = kNoPeer;
+  std::uint16_t port = 0;
+  bool operator==(const PeerEndpoint&) const = default;
+};
+
+// Tracker -> peer: reply to a renew announce, excluding the requester.
+struct PeerListMsg {
+  std::vector<PeerEndpoint> peers;
+  bool operator==(const PeerListMsg&) const = default;
+};
+
+// Donor -> payee: designation notice. The encrypted-piece back-reference
+// names only (prev_donor, prev_piece), but a receipt authenticates the
+// exact TxId — so the donor tells the payee which transaction the
+// incoming reciprocation pays for, and where to send the receipt.
+struct PayeeNotifyMsg {
+  TxId tx = 0;              // the donor's transaction awaiting payment
+  std::uint64_t chain = 0;
+  PeerId donor = kNoPeer;
+  PeerId requestor = kNoPeer;  // who will reciprocate to the payee
+  PieceIndex piece = kNoPiece; // piece the donor uploaded under `tx`
+  bool operator==(const PayeeNotifyMsg&) const = default;
+};
+
 using Message =
     std::variant<HandshakeMsg, BitfieldMsg, HaveMsg, EncryptedPieceMsg,
-                 PlainPieceMsg, ReceiptMsg, KeyReleaseMsg, PayeeReassignMsg>;
+                 PlainPieceMsg, ReceiptMsg, KeyReleaseMsg, PayeeReassignMsg,
+                 AnnounceMsg, PeerListMsg, PayeeNotifyMsg>;
 
 // Stable on-the-wire tags.
 enum class MsgType : std::uint8_t {
@@ -113,6 +152,9 @@ enum class MsgType : std::uint8_t {
   kReceipt = 6,
   kKeyRelease = 7,
   kPayeeReassign = 8,
+  kAnnounce = 9,
+  kPeerList = 10,
+  kPayeeNotify = 11,
 };
 
 MsgType message_type(const Message& m);

@@ -1,6 +1,7 @@
 #include "src/net/tcp.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -28,20 +29,23 @@ timeval to_timeval(double seconds) {
   return tv;
 }
 
-// MSG_NOSIGNAL: a peer that closed mid-frame must come back as EPIPE,
-// not as a fatal SIGPIPE.
-void write_all(int fd, const std::uint8_t* data, std::size_t len) {
-  while (len > 0) {
-    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+// Writes until done or the socket refuses more (EAGAIN). Returns bytes
+// written; throws only on hard errors. MSG_NOSIGNAL: a peer that closed
+// mid-frame must come back as EPIPE, not as a fatal SIGPIPE.
+std::size_t write_some(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       if (errno == EPIPE)
         throw std::runtime_error("send: peer closed connection");
       throw_errno("send");
     }
-    data += n;
-    len -= static_cast<std::size_t>(n);
+    sent += static_cast<std::size_t>(n);
   }
+  return sent;
 }
 
 // Returns false on clean EOF at a frame boundary.
@@ -64,19 +68,36 @@ bool read_all(int fd, std::uint8_t* data, std::size_t len) {
   return true;
 }
 
+void set_fd_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(fd, F_SETFL, want) < 0)
+    throw_errno("fcntl(F_SETFL)");
+}
+
 }  // namespace
 
 FrameSocket::~FrameSocket() { close(); }
 
-FrameSocket::FrameSocket(FrameSocket&& other) noexcept : fd_(other.fd_) {
+FrameSocket::FrameSocket(FrameSocket&& other) noexcept
+    : fd_(other.fd_),
+      outbox_(std::move(other.outbox_)),
+      outbox_off_(other.outbox_off_) {
   other.fd_ = -1;
+  other.outbox_.clear();
+  other.outbox_off_ = 0;
 }
 
 FrameSocket& FrameSocket::operator=(FrameSocket&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = other.fd_;
+    outbox_ = std::move(other.outbox_);
+    outbox_off_ = other.outbox_off_;
     other.fd_ = -1;
+    other.outbox_.clear();
+    other.outbox_off_ = 0;
   }
   return *this;
 }
@@ -86,6 +107,13 @@ void FrameSocket::close() {
     ::close(fd_);
     fd_ = -1;
   }
+  outbox_.clear();
+  outbox_off_ = 0;
+}
+
+void FrameSocket::set_nonblocking(bool on) {
+  if (!valid()) throw std::runtime_error("set_nonblocking on closed socket");
+  set_fd_nonblocking(fd_, on);
 }
 
 void FrameSocket::set_recv_timeout(double seconds) {
@@ -95,16 +123,34 @@ void FrameSocket::set_recv_timeout(double seconds) {
     throw_errno("setsockopt(SO_RCVTIMEO)");
 }
 
-void FrameSocket::send_frame(const util::Bytes& payload) {
+std::size_t FrameSocket::send_frame(const util::Bytes& payload) {
   if (!valid()) throw std::runtime_error("send_frame on closed socket");
-  std::uint8_t hdr[4];
+  if (payload.size() > kMaxFrame)
+    throw std::runtime_error("send_frame: oversized frame");
   const auto n = static_cast<std::uint32_t>(payload.size());
-  hdr[0] = static_cast<std::uint8_t>(n >> 24);
-  hdr[1] = static_cast<std::uint8_t>(n >> 16);
-  hdr[2] = static_cast<std::uint8_t>(n >> 8);
-  hdr[3] = static_cast<std::uint8_t>(n);
-  write_all(fd_, hdr, 4);
-  write_all(fd_, payload.data(), payload.size());
+  const std::uint8_t hdr[4] = {
+      static_cast<std::uint8_t>(n >> 24), static_cast<std::uint8_t>(n >> 16),
+      static_cast<std::uint8_t>(n >> 8), static_cast<std::uint8_t>(n)};
+  outbox_.insert(outbox_.end(), hdr, hdr + 4);
+  outbox_.insert(outbox_.end(), payload.begin(), payload.end());
+  return flush_pending();
+}
+
+std::size_t FrameSocket::flush_pending() {
+  if (!valid() || pending_bytes() == 0) return 0;
+  const std::size_t n =
+      write_some(fd_, outbox_.data() + outbox_off_, pending_bytes());
+  outbox_off_ += n;
+  if (outbox_off_ == outbox_.size()) {
+    outbox_.clear();
+    outbox_off_ = 0;
+  } else if (outbox_off_ >= 64 * 1024 && outbox_off_ * 2 >= outbox_.size()) {
+    // Reclaim the consumed prefix once it dominates the buffer.
+    outbox_.erase(outbox_.begin(),
+                  outbox_.begin() + static_cast<std::ptrdiff_t>(outbox_off_));
+    outbox_off_ = 0;
+  }
+  return n;
 }
 
 std::optional<util::Bytes> FrameSocket::recv_frame() {
@@ -114,7 +160,6 @@ std::optional<util::Bytes> FrameSocket::recv_frame() {
   const std::uint32_t n = (std::uint32_t{hdr[0]} << 24) |
                           (std::uint32_t{hdr[1]} << 16) |
                           (std::uint32_t{hdr[2]} << 8) | std::uint32_t{hdr[3]};
-  constexpr std::uint32_t kMaxFrame = 64u * 1024 * 1024;
   if (n > kMaxFrame) throw std::runtime_error("recv_frame: oversized frame");
   util::Bytes payload(n);
   if (n > 0 && !read_all(fd_, payload.data(), n))
@@ -164,7 +209,8 @@ FrameSocket FrameSocket::connect_to(const std::string& host,
   return FrameSocket(fd);
 }
 
-Listener::Listener(std::uint16_t port) {
+Listener::Listener(std::uint16_t port, bool nonblocking)
+    : nonblocking_(nonblocking) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) throw_errno("socket");
   int one = 1;
@@ -175,11 +221,12 @@ Listener::Listener(std::uint16_t port) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
     throw_errno("bind");
-  if (::listen(fd_, 16) != 0) throw_errno("listen");
+  if (::listen(fd_, 64) != 0) throw_errno("listen");
   socklen_t len = sizeof(addr);
   if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
     throw_errno("getsockname");
   port_ = ntohs(addr.sin_port);
+  if (nonblocking_) set_fd_nonblocking(fd_, true);
 }
 
 Listener::~Listener() {
@@ -192,6 +239,21 @@ FrameSocket Listener::accept() {
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return FrameSocket(fd);
+}
+
+std::optional<FrameSocket> Listener::try_accept() {
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED)
+      return std::nullopt;
+    throw_errno("accept");
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  FrameSocket s(fd);
+  if (nonblocking_) s.set_nonblocking(true);
+  return s;
 }
 
 }  // namespace tc::net

@@ -1,10 +1,18 @@
-// Minimal blocking TCP transport with length-prefixed frames.
+// TCP transport with length-prefixed frames.
 //
 // The paper evaluates T-Chain in simulation; this transport exists to show
-// the protocol runs as specified over real sockets (examples/tcp_triangle
-// performs a full triangle exchange between three endpoints on loopback).
+// the protocol runs as specified over real sockets. Two usage modes:
+//
+//  * Blocking (default): send_frame writes the whole frame before
+//    returning, recv_frame blocks for a whole frame. Used by tests and
+//    the original triangle demo.
+//  * Non-blocking (set_nonblocking(true)): send_frame queues whatever the
+//    kernel won't take and returns the bytes it managed to write; the
+//    caller drains the backlog with flush_pending() when the socket
+//    becomes writable again (the src/rt reactor drives this off EPOLLOUT).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -13,6 +21,11 @@
 #include "src/util/bytes.h"
 
 namespace tc::net {
+
+// Upper bound on a frame body; enforced by recv_frame and by the reactor's
+// incremental frame parser so a corrupt length prefix cannot trigger a
+// multi-gigabyte allocation.
+inline constexpr std::uint32_t kMaxFrame = 64u * 1024 * 1024;
 
 // RAII wrapper over a connected stream socket.
 class FrameSocket {
@@ -27,17 +40,33 @@ class FrameSocket {
   FrameSocket& operator=(const FrameSocket&) = delete;
 
   bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
   void close();
+
+  // Toggles O_NONBLOCK. In non-blocking mode sends never block: bytes the
+  // kernel refuses (EAGAIN / short write) are buffered internally.
+  void set_nonblocking(bool on);
 
   // Caps how long recv_frame may block (SO_RCVTIMEO); an expired wait
   // throws std::runtime_error mentioning "timed out" instead of hanging
   // forever on a silent peer. seconds <= 0 restores indefinite blocking.
   void set_recv_timeout(double seconds);
 
-  // Blocking. Throws std::runtime_error on I/O failure. Writes use
-  // MSG_NOSIGNAL, so a peer that vanished mid-exchange surfaces as an
-  // exception (EPIPE), never as a process-killing SIGPIPE.
-  void send_frame(const util::Bytes& payload);
+  // Queues the 4-byte length prefix plus payload and writes as much as the
+  // socket accepts. Returns the bytes handed to the kernel during this
+  // call (which may include backlog from earlier frames). On a blocking
+  // socket this is the whole frame; on a non-blocking socket the remainder
+  // stays buffered until flush_pending(). Writes use MSG_NOSIGNAL, so a
+  // peer that vanished mid-exchange surfaces as an exception (EPIPE),
+  // never as a process-killing SIGPIPE.
+  std::size_t send_frame(const util::Bytes& payload);
+
+  // Retries the buffered backlog; returns bytes written. Safe to call with
+  // nothing pending (returns 0).
+  std::size_t flush_pending();
+  // Bytes queued but not yet accepted by the kernel.
+  std::size_t pending_bytes() const { return outbox_.size() - outbox_off_; }
+
   // Returns nullopt on orderly peer shutdown.
   std::optional<util::Bytes> recv_frame();
 
@@ -50,23 +79,37 @@ class FrameSocket {
 
  private:
   int fd_ = -1;
+  // Unsent bytes (header+payload concatenation); outbox_off_ marks the
+  // consumed prefix so flushing is O(written), not O(queue).
+  util::Bytes outbox_;
+  std::size_t outbox_off_ = 0;
 };
 
 class Listener {
  public:
-  // Binds to 127.0.0.1:port; port 0 picks an ephemeral port.
-  explicit Listener(std::uint16_t port);
+  // Binds to 127.0.0.1:port; port 0 picks an ephemeral port. SO_REUSEADDR
+  // is set before bind so a rebind inside TIME_WAIT succeeds. With
+  // nonblocking=true the listening fd is O_NONBLOCK (accept never blocks)
+  // and accepted sockets start in non-blocking mode too.
+  explicit Listener(std::uint16_t port, bool nonblocking = false);
   ~Listener();
 
   Listener(const Listener&) = delete;
   Listener& operator=(const Listener&) = delete;
 
   std::uint16_t port() const { return port_; }
+  int fd() const { return fd_; }
+
+  // Blocking accept; throws on error (including EAGAIN on a non-blocking
+  // listener — use try_accept there).
   FrameSocket accept();
+  // Non-blocking accept: nullopt when no connection is pending.
+  std::optional<FrameSocket> try_accept();
 
  private:
   int fd_ = -1;
   std::uint16_t port_ = 0;
+  bool nonblocking_ = false;
 };
 
 }  // namespace tc::net

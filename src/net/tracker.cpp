@@ -4,14 +4,26 @@
 
 namespace tc::net {
 
-void Tracker::announce(PeerId peer) {
+void Tracker::announce(PeerId peer, double now) {
   if (members_.insert(peer).second) {
     dense_.push_back(peer);
   }
+  last_announce_[peer] = now;
 }
 
 void Tracker::depart(PeerId peer) {
   if (members_.erase(peer) > 0) dense_dirty_ = true;
+  last_announce_.erase(peer);
+}
+
+std::vector<PeerId> Tracker::prune(double now, double window) {
+  std::vector<PeerId> stale;
+  for (const auto& [peer, seen] : last_announce_) {  // det-ok: collected then sorted
+    if (now - seen > window) stale.push_back(peer);
+  }
+  std::sort(stale.begin(), stale.end());
+  for (PeerId p : stale) depart(p);
+  return stale;
 }
 
 std::vector<PeerId> Tracker::neighbor_list(PeerId requester,

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -17,10 +18,18 @@ class Tracker {
  public:
   explicit Tracker(std::size_t list_size = 50) : list_size_(list_size) {}
 
-  void announce(PeerId peer);
+  // `now` stamps the membership for prune(); callers without a clock (the
+  // simulator's rendezvous path) use the default and never prune.
+  void announce(PeerId peer, double now = 0.0);
   void depart(PeerId peer);
   bool contains(PeerId peer) const { return members_.count(peer) > 0; }
   std::size_t size() const { return members_.size(); }
+
+  // Drops every member whose last announce is older than `window` seconds
+  // before `now`, so restarts and crashes don't leave dead peers in the
+  // neighbor lists forever. Returns the pruned ids (ascending, for
+  // deterministic logging/tests).
+  std::vector<PeerId> prune(double now, double window);
 
   // Up to list_size() random members, excluding the requester itself.
   // The requester need not be announced (a newcomer's first request).
@@ -33,6 +42,7 @@ class Tracker {
  private:
   std::size_t list_size_;
   std::unordered_set<PeerId> members_;
+  std::unordered_map<PeerId, double> last_announce_;
   // Dense mirror of members_ for O(k) sampling.
   std::vector<PeerId> dense_;
   mutable bool dense_dirty_ = false;

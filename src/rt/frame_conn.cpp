@@ -1,0 +1,184 @@
+#include "src/rt/frame_conn.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace tc::rt {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+}  // namespace
+
+FrameConn::FrameConn(Reactor& reactor, net::FrameSocket sock,
+                     Delegate* delegate)
+    : reactor_(reactor), sock_(std::move(sock)), delegate_(delegate) {
+  sock_.set_nonblocking(true);
+  reactor_.add(sock_.fd(), this);
+}
+
+FrameConn::~FrameConn() {
+  if (sock_.valid()) {
+    reactor_.remove(sock_.fd());
+    sock_.close();
+  }
+}
+
+std::unique_ptr<FrameConn> FrameConn::dial(Reactor& reactor,
+                                           const std::string& host,
+                                           std::uint16_t port,
+                                           Delegate* delegate) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0)
+    throw std::runtime_error(std::string("dial: socket: ") +
+                             std::strerror(errno));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("dial: bad address: " + host);
+  }
+
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 &&
+      errno != EINPROGRESS) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("dial: connect: ") +
+                             std::strerror(err));
+  }
+
+  auto conn = std::make_unique<FrameConn>(reactor, net::FrameSocket(fd),
+                                          delegate);
+  conn->dialed_ = true;
+  // Even when connect() succeeded synchronously (possible on loopback),
+  // resolve through the initial EPOLLOUT edge so on_conn_open is always
+  // delivered from the reactor, never from inside dial().
+  conn->connecting_ = true;
+  return conn;
+}
+
+void FrameConn::send(const net::Message& m) {
+  if (closed_notified_ || !sock_.valid()) return;
+  try {
+    // While still connecting, the kernel reports EAGAIN and the bytes stay
+    // in the outbox; the post-connect EPOLLOUT edge flushes them.
+    sock_.send_frame(net::encode_message(m));
+  } catch (const std::exception&) {
+    fail();
+  }
+}
+
+void FrameConn::on_writable() {
+  if (closed_notified_ || !sock_.valid()) return;
+  if (connecting_) {
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(sock_.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      fail();
+      return;
+    }
+    connecting_ = false;
+    int one = 1;
+    ::setsockopt(sock_.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    delegate_->on_conn_open(*this);
+    if (closed_notified_ || !sock_.valid()) return;
+  }
+  try {
+    sock_.flush_pending();
+  } catch (const std::exception&) {
+    fail();
+  }
+}
+
+void FrameConn::on_readable() {
+  if (closed_notified_ || !sock_.valid()) return;
+  bool eof = false;
+  // Edge-triggered: drain until EAGAIN or EOF.
+  for (;;) {
+    const std::size_t old = inbox_.size();
+    inbox_.resize(old + kReadChunk);
+    const ssize_t n = ::read(sock_.fd(), inbox_.data() + old, kReadChunk);
+    if (n > 0) {
+      inbox_.resize(old + static_cast<std::size_t>(n));
+      continue;
+    }
+    inbox_.resize(old);
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    fail();
+    return;
+  }
+  if (!parse_frames()) return;
+  if (eof) fail();
+}
+
+void FrameConn::on_error() {
+  if (closed_notified_) return;
+  fail();
+}
+
+bool FrameConn::parse_frames() {
+  for (;;) {
+    const std::size_t avail = inbox_.size() - inbox_off_;
+    if (avail < 4) break;
+    const std::uint8_t* p = inbox_.data() + inbox_off_;
+    const std::uint32_t len = (static_cast<std::uint32_t>(p[0]) << 24) |
+                              (static_cast<std::uint32_t>(p[1]) << 16) |
+                              (static_cast<std::uint32_t>(p[2]) << 8) |
+                              static_cast<std::uint32_t>(p[3]);
+    if (len > net::kMaxFrame) {
+      fail();
+      return false;
+    }
+    if (avail < 4 + static_cast<std::size_t>(len)) break;
+    util::Bytes payload(p + 4, p + 4 + len);
+    inbox_off_ += 4 + static_cast<std::size_t>(len);
+    net::Message m;
+    try {
+      m = net::decode_message(payload);
+    } catch (const std::exception&) {
+      fail();
+      return false;
+    }
+    delegate_->on_message(*this, std::move(m));
+    if (closed_notified_ || !sock_.valid()) return false;
+  }
+  // Compact the consumed prefix once it dominates the buffer.
+  if (inbox_off_ > kReadChunk && inbox_off_ * 2 >= inbox_.size()) {
+    inbox_.erase(inbox_.begin(),
+                 inbox_.begin() + static_cast<std::ptrdiff_t>(inbox_off_));
+    inbox_off_ = 0;
+  }
+  return true;
+}
+
+void FrameConn::fail() {
+  if (closed_notified_) return;
+  closed_notified_ = true;
+  if (sock_.valid()) {
+    reactor_.remove(sock_.fd());
+    sock_.close();
+  }
+  // Deferred: fail() can fire from inside send() while the delegate is
+  // mid-handler; notifying synchronously would let the delegate mutate
+  // state (e.g. erase a neighbor) under its caller's feet.
+  reactor_.post([this] { delegate_->on_conn_closed(*this); });
+}
+
+}  // namespace tc::rt

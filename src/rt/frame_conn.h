@@ -1,0 +1,87 @@
+// Non-blocking framed connection on a Reactor: incremental frame parsing
+// on the read side (edge-triggered drain into an inbox buffer), buffered
+// partial writes on the send side (net::FrameSocket's outbox, flushed on
+// EPOLLOUT), and asynchronous dialing (connect() in progress resolves via
+// writability + SO_ERROR).
+//
+// A FrameConn delivers whole decoded net::Message values to its Delegate;
+// wire errors — truncated stream, oversized length prefix, undecodable
+// frame, connection reset — all funnel into a single on_conn_closed
+// notification, after which the connection is defunct. The delegate owns
+// the FrameConn and should destroy it from a posted callback, never from
+// inside its own notification.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/net/message.h"
+#include "src/net/tcp.h"
+#include "src/rt/reactor.h"
+#include "src/util/bytes.h"
+
+namespace tc::rt {
+
+class FrameConn : public Reactor::Handler {
+ public:
+  class Delegate {
+   public:
+    virtual ~Delegate() = default;
+    // A dialed connection finished its handshake (accepted connections are
+    // open from construction and do not get this callback).
+    virtual void on_conn_open(FrameConn& c) { (void)c; }
+    virtual void on_message(FrameConn& c, net::Message m) = 0;
+    // Peer closed, wire error, or malformed frame. Fired at most once,
+    // always from a posted reactor callback (never re-entrantly from
+    // send()); the connection is already detached from the reactor.
+    virtual void on_conn_closed(FrameConn& c) = 0;
+  };
+
+  // Adopts an accepted, connected socket (made non-blocking here).
+  FrameConn(Reactor& reactor, net::FrameSocket sock, Delegate* delegate);
+  ~FrameConn() override;
+
+  FrameConn(const FrameConn&) = delete;
+  FrameConn& operator=(const FrameConn&) = delete;
+
+  // Asynchronous connect to 127.0.0.1-style hosts; on_conn_open (or
+  // on_conn_closed) fires from the reactor once the handshake resolves.
+  static std::unique_ptr<FrameConn> dial(Reactor& reactor,
+                                         const std::string& host,
+                                         std::uint16_t port,
+                                         Delegate* delegate);
+
+  // Queues one message; unsent bytes drain on writability. Dropped
+  // silently if the connection is already closed (the delegate saw or
+  // will see on_conn_closed).
+  void send(const net::Message& m);
+
+  bool is_open() const { return sock_.valid(); }
+  bool dialed() const { return dialed_; }
+  std::size_t backlog_bytes() const { return sock_.pending_bytes(); }
+
+  // Owner-assigned identity of the remote peer (kNoPeer until known).
+  net::PeerId peer = net::kNoPeer;
+
+  void on_readable() override;
+  void on_writable() override;
+  void on_error() override;
+
+ private:
+  void fail();
+  // Extracts complete frames from inbox_; returns false if the connection
+  // died while parsing (delegate closed it or a frame was malformed).
+  bool parse_frames();
+
+  Reactor& reactor_;
+  net::FrameSocket sock_;
+  Delegate* delegate_;
+  bool dialed_ = false;
+  bool connecting_ = false;
+  bool closed_notified_ = false;
+  util::Bytes inbox_;
+  std::size_t inbox_off_ = 0;
+};
+
+}  // namespace tc::rt

@@ -1,0 +1,95 @@
+// Single-threaded epoll reactor: the event loop under the live deployment
+// runtime (tools/tchain-swarmd). Non-blocking fds register a Handler for
+// edge-triggered readiness callbacks; protocol timeouts go through a
+// hashed timer wheel; post() defers work to the next loop turn (used to
+// destroy connection objects outside their own callbacks).
+//
+// Unlike the simulation tree, this code deliberately reads the monotonic
+// clock — it serves real sockets. now() is relative to reactor
+// construction so timestamps in exported traces start near zero, and it is
+// the only wall-clock surface of src/rt (scripts/lint_determinism.py
+// whitelists the directory for exactly this).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace tc::rt {
+
+class Reactor {
+ public:
+  // Readiness callbacks for one registered fd. Edge-triggered: a handler
+  // must drain reads until EAGAIN and flush writes until EAGAIN, or it
+  // will not be woken again.
+  class Handler {
+   public:
+    virtual ~Handler() = default;
+    virtual void on_readable() = 0;
+    virtual void on_writable() {}
+    // EPOLLERR; read/write paths surface most failures themselves.
+    virtual void on_error() { on_readable(); }
+  };
+
+  Reactor();
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  // Registers `fd` edge-triggered for read+write readiness. The handler
+  // must stay valid until remove(fd). Initial readiness is reported.
+  void add(int fd, Handler* h);
+  // Safe to call from inside a callback (pending events for the fd in the
+  // current batch are skipped).
+  void remove(int fd);
+
+  using TimerId = std::uint64_t;
+  // One-shot timer; returns an id for cancel(). Fires on the wheel tick
+  // following the deadline (granularity kTickSeconds).
+  TimerId schedule(double delay_seconds, std::function<void()> fn);
+  void cancel(TimerId id);
+
+  // Runs `fn` at the start of the next loop turn (before fd dispatch).
+  void post(std::function<void()> fn);
+
+  // Monotonic seconds since reactor construction. The timestamp source for
+  // every live trace event.
+  double now() const;
+
+  // Dispatches until stop(). Re-entrant calls are not supported.
+  void run();
+  void stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  static constexpr double kTickSeconds = 0.002;
+
+ private:
+  struct TimerEntry {
+    TimerId id = 0;
+    double deadline = 0.0;
+    std::function<void()> fn;
+  };
+  static constexpr std::size_t kWheelSlots = 512;
+
+  void fire_due_timers();
+  int poll_timeout_ms() const;
+
+  int epfd_ = -1;
+  bool stopped_ = false;
+  std::unordered_map<int, Handler*> handlers_;
+  std::vector<std::function<void()>> posted_;
+  // Hashed timer wheel: slot = tick % kWheelSlots; entries keep their
+  // absolute deadline so far-future timers survive cursor passes.
+  std::vector<std::vector<TimerEntry>> wheel_;
+  std::unordered_set<TimerId> cancelled_;
+  std::int64_t processed_tick_ = 0;
+  TimerId next_timer_ = 1;
+  std::size_t timers_live_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace tc::rt

@@ -1,0 +1,118 @@
+#include "src/rt/swarm.h"
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "src/rt/peer_node.h"
+#include "src/rt/reactor.h"
+#include "src/rt/swarm_context.h"
+#include "src/rt/tracker_service.h"
+
+namespace tc::rt {
+
+SwarmResult run_local_swarm(const SwarmOptions& opts) {
+  // Destruction order matters: nodes and the tracker unregister their fds
+  // and timers in their destructors, so the reactor must outlive them.
+  Reactor reactor;
+
+  obs::TraceConfig tcfg;
+  tcfg.enabled = true;
+  tcfg.ring_capacity = opts.ring_capacity;
+  tcfg.kind_mask = obs::kAllKinds;
+  obs::Trace trace(tcfg);
+
+  check::CheckerOptions copts;
+  copts.pending_cap = opts.pending_cap;
+  check::Checker checker(copts);
+  if (opts.online_check) trace.set_sink(&checker);
+
+  SwarmContext ctx(reactor, &trace,
+                   SwarmFileMeta::make(opts.piece_count, opts.piece_bytes,
+                                       opts.seed),
+                   "rt-local-swarm");
+
+  TrackerService::Options topts;
+  topts.prune_window = opts.tracker_prune_window;
+  topts.seed = opts.seed ^ 0x9e3779b97f4a7c15ull;
+  TrackerService tracker(reactor, topts);
+
+  const std::size_t leechers = opts.peers > 0 ? opts.peers - 1 : 0;
+  std::size_t completed = 0;
+  bool draining = false;
+
+  std::vector<std::unique_ptr<PeerNode>> nodes;
+  nodes.reserve(opts.peers);
+
+  // When every leecher holds the file, poll until all donor transactions
+  // settle (key releases in flight) before stopping, so the checker sees
+  // closed escrows instead of end-of-run warnings.
+  static constexpr double kDrainPoll = 0.05;
+  static constexpr double kDrainGrace = 2.0;
+  std::function<void(double)> drain = [&](double waited) {
+    std::size_t open = 0;
+    for (const auto& n : nodes) open += n->open_donor_txs();
+    if (open == 0 || waited >= kDrainGrace) {
+      reactor.stop();
+      return;
+    }
+    reactor.schedule(kDrainPoll, [&drain, waited] {
+      drain(waited + kDrainPoll);
+    });
+  };
+
+  for (std::size_t i = 0; i < opts.peers; ++i) {
+    PeerNode::Options popts;
+    popts.id = static_cast<net::PeerId>(i + 1);
+    popts.seeder = (i == 0);
+    popts.tracker_port = tracker.port();
+    popts.announce_interval = opts.announce_interval;
+    popts.tick_interval = opts.tick_interval;
+    popts.watchdog_seconds = opts.watchdog_seconds;
+    popts.max_retries = opts.max_retries;
+    popts.pending_cap = opts.pending_cap;
+    popts.seeder_slots = opts.seeder_slots;
+    popts.seed = opts.seed * 1000003ull + popts.id;
+    popts.on_complete = [&](net::PeerId) {
+      ++completed;
+      if (completed >= leechers && !draining) {
+        draining = true;
+        drain(0.0);
+      }
+    };
+    nodes.push_back(std::make_unique<PeerNode>(ctx, popts));
+  }
+  for (auto& n : nodes) n->start();
+
+  reactor.schedule(opts.deadline_seconds, [&reactor] { reactor.stop(); });
+  if (leechers == 0) reactor.post([&reactor] { reactor.stop(); });
+
+  reactor.run();
+
+  SwarmResult res;
+  res.wall_seconds = reactor.now();
+  res.all_complete = true;
+  for (const auto& n : nodes) {
+    PeerStat s;
+    s.id = n->id();
+    s.seeder = n->seeder();
+    s.complete = n->complete();
+    s.finish_seconds = n->finish_time();
+    if (!s.complete) res.all_complete = false;
+    res.peers.push_back(s);
+  }
+
+  trace.set_sink(nullptr);
+  res.events = trace.events();
+  res.events_recorded = trace.ring().recorded();
+  res.events_dropped = trace.ring().dropped();
+  res.metrics = trace.snapshot();
+  if (opts.online_check) {
+    res.check = checker.finish();
+  } else {
+    res.check = check::check_events(res.events, res.events_dropped, copts);
+  }
+  return res;
+}
+
+}  // namespace tc::rt

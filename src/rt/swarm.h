@@ -1,0 +1,60 @@
+// One-call localhost swarm: spins up a TrackerService plus N PeerNodes
+// (peer 1 seeds, the rest leech) on a single Reactor, runs the live
+// T-Chain protocol over real loopback sockets until every leecher holds
+// the full file (or a wall-clock deadline expires), and returns per-peer
+// completion times together with the invariant checker's verdict over the
+// run's full trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/check/invariants.h"
+#include "src/net/peer_id.h"
+#include "src/obs/trace.h"
+
+namespace tc::rt {
+
+struct SwarmOptions {
+  std::size_t peers = 16;  // total nodes; node 1 is the seeder
+  std::uint32_t piece_count = 32;
+  std::uint32_t piece_bytes = 16 * 1024;
+  std::uint64_t seed = 1;
+  int pending_cap = 2;
+  std::size_t seeder_slots = 8;
+  double watchdog_seconds = 0.2;
+  int max_retries = 2;
+  double announce_interval = 0.1;
+  double tick_interval = 0.02;
+  double deadline_seconds = 30.0;
+  double tracker_prune_window = 2.0;
+  std::size_t ring_capacity = std::size_t{1} << 20;
+  // Attach the checker as a live sink (lossless => sound verdict even if
+  // the ring wraps). Off: the report is computed from the ring snapshot.
+  bool online_check = true;
+};
+
+struct PeerStat {
+  net::PeerId id = net::kNoPeer;
+  bool seeder = false;
+  bool complete = false;
+  double finish_seconds = -1.0;  // -1 if never finished
+};
+
+struct SwarmResult {
+  bool all_complete = false;
+  double wall_seconds = 0.0;
+  std::vector<PeerStat> peers;
+  check::CheckReport check;
+  std::vector<obs::TraceEvent> events;  // ring snapshot (may have wrapped)
+  std::uint64_t events_recorded = 0;
+  std::uint64_t events_dropped = 0;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+// Blocks until the swarm completes (plus a short settlement drain) or the
+// deadline fires. Throws std::runtime_error on socket setup failure.
+SwarmResult run_local_swarm(const SwarmOptions& opts);
+
+}  // namespace tc::rt

@@ -1,25 +1,38 @@
 #include "src/util/flags.h"
 
+#include <cctype>
 #include <cstdlib>
 #include <stdexcept>
 
 namespace tc::util {
 
+namespace {
+
+// "-n" and "--name" are flags; "-3" and "-.5" are (negative-number)
+// values and stay positional.
+bool is_flag_token(const std::string& s) {
+  if (s.size() < 2 || s[0] != '-') return false;
+  const char c = s[1] == '-' ? (s.size() > 2 ? s[2] : '\0') : s[1];
+  return std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '.';
+}
+
+}  // namespace
+
 Flags::Flags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) {
+    if (!is_flag_token(arg)) {
       positional_.push_back(arg);
       continue;
     }
-    std::string name = arg.substr(2);
+    std::string name = arg.substr(arg[1] == '-' ? 2 : 1);
     const auto eq = name.find('=');
     if (eq != std::string::npos) {
       values_[name.substr(0, eq)] = name.substr(eq + 1);
       continue;
     }
     // "--name value" unless the next token is another flag (then boolean).
-    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+    if (i + 1 < argc && !is_flag_token(argv[i + 1])) {
       values_[name] = argv[++i];
     } else {
       values_[name] = "true";

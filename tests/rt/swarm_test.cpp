@@ -1,0 +1,118 @@
+// End-to-end coverage of the live deployment runtime: a real multi-peer
+// swarm over loopback sockets must reach 100% on every leecher, the live
+// invariant checker must PASS the run, and the exported trace must
+// round-trip through the CSV codec into the same verdict offline.
+#include "src/rt/swarm.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/check/invariants.h"
+#include "src/check/replay.h"
+#include "src/obs/export.h"
+#include "src/rt/swarm_context.h"
+
+namespace tc::rt {
+namespace {
+
+SwarmOptions small_swarm() {
+  SwarmOptions opts;
+  opts.peers = 4;
+  opts.piece_count = 8;
+  opts.piece_bytes = 4 * 1024;
+  opts.seed = 7;
+  opts.deadline_seconds = 60.0;  // generous; loaded CI machines stall
+  return opts;
+}
+
+TEST(LiveSwarm, FourPeersCompleteAndVerifySound) {
+  const SwarmResult res = run_local_swarm(small_swarm());
+
+  ASSERT_EQ(res.peers.size(), 4u);
+  EXPECT_TRUE(res.all_complete);
+  for (const PeerStat& p : res.peers) {
+    EXPECT_TRUE(p.complete) << "peer " << p.id;
+    if (!p.seeder && p.complete) {
+      EXPECT_GE(p.finish_seconds, 0.0);
+      EXPECT_LE(p.finish_seconds, res.wall_seconds);
+    }
+  }
+
+  // Live online verification: lossless sink => sound, and the protocol
+  // implementation must not violate any invariant.
+  EXPECT_TRUE(res.check.sound);
+  EXPECT_EQ(res.check.total_violations, 0u) << res.check.findings.size();
+  EXPECT_STREQ(res.check.verdict(), "PASS");
+  EXPECT_EQ(res.events_dropped, 0u);
+  EXPECT_GT(res.events_recorded, 0u);
+}
+
+TEST(LiveSwarm, TraceRoundTripsThroughCsvToSameVerdict) {
+  const SwarmResult res = run_local_swarm(small_swarm());
+  ASSERT_TRUE(res.all_complete);
+  ASSERT_EQ(res.events_dropped, 0u);
+
+  std::stringstream csv;
+  obs::write_event_csv(csv, res.events);
+  const std::vector<obs::TraceEvent> replayed =
+      check::read_event_csv(csv);
+  ASSERT_EQ(replayed.size(), res.events.size());
+
+  const check::CheckReport offline = check::check_events(replayed, 0);
+  EXPECT_TRUE(offline.sound);
+  EXPECT_EQ(offline.total_violations, 0u);
+  EXPECT_STREQ(offline.verdict(), "PASS");
+}
+
+TEST(LiveSwarm, TraceContainsTheLiveProtocolVocabulary) {
+  const SwarmResult res = run_local_swarm(small_swarm());
+  ASSERT_TRUE(res.all_complete);
+
+  std::array<std::uint64_t, obs::kEventKindCount> counts{};
+  for (const obs::TraceEvent& e : res.events) {
+    ++counts[static_cast<std::size_t>(e.kind)];
+  }
+  const auto n = [&](obs::EventKind k) {
+    return counts[static_cast<std::size_t>(k)];
+  };
+
+  EXPECT_EQ(n(obs::EventKind::kPeerJoin), 4u);
+  EXPECT_EQ(n(obs::EventKind::kPeerFinish), 3u);  // the seeder never "finishes"
+  // 3 leechers x 8 pieces decrypt or arrive plain.
+  EXPECT_EQ(n(obs::EventKind::kPieceGranted), 24u);
+  EXPECT_GT(n(obs::EventKind::kChainStart), 0u);
+  EXPECT_EQ(n(obs::EventKind::kChainStart), n(obs::EventKind::kChainBreak));
+  EXPECT_GT(n(obs::EventKind::kTxOpen), 0u);
+  EXPECT_EQ(n(obs::EventKind::kTxOpen), n(obs::EventKind::kTxClose));
+  EXPECT_EQ(n(obs::EventKind::kTxOpen), n(obs::EventKind::kChainExtend));
+  EXPECT_EQ(n(obs::EventKind::kPieceSent),
+            n(obs::EventKind::kPieceDelivered));
+}
+
+TEST(LiveSwarm, MetricsExposeRuntimeCounters) {
+  const SwarmResult res = run_local_swarm(small_swarm());
+  bool saw_tx_opened = false;
+  for (const auto& [name, value] : res.metrics) {
+    if (name == "rt.tx_opened") {
+      saw_tx_opened = true;
+      EXPECT_GT(value, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_tx_opened);
+}
+
+TEST(LiveSwarm, DeterministicFileMetaAcrossCalls) {
+  // The swarm content derives from the seed alone; two metas with the same
+  // seed are identical (live socket timing must not leak into the data).
+  const SwarmFileMeta a = SwarmFileMeta::make(4, 1024, 42);
+  const SwarmFileMeta b = SwarmFileMeta::make(4, 1024, 42);
+  ASSERT_EQ(a.pieces.size(), 4u);
+  EXPECT_EQ(a.pieces, b.pieces);
+  EXPECT_EQ(a.hashes, b.hashes);
+  const SwarmFileMeta c = SwarmFileMeta::make(4, 1024, 43);
+  EXPECT_NE(a.pieces, c.pieces);
+}
+
+}  // namespace
+}  // namespace tc::rt
